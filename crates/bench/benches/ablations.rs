@@ -1,0 +1,107 @@
+//! Ablation benches: the Section IV extensions and the design choices called
+//! out in DESIGN.md.
+//!
+//! * multiplexor processing order (Section IV-A),
+//! * pipelining depth (Section IV-B),
+//! * scheduler behind the control edges (force-directed vs list),
+//! * resource budget (minimum vs baseline allocation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use circuits::{dealer, gcd, vender};
+use experiments::ablation;
+use pmsched::algorithm::power_manage_reordered;
+use pmsched::pipeline::power_manage_pipelined;
+use pmsched::{power_manage, MuxOrder, PowerManagementOptions};
+use sched::hyper::{self, HyperOptions};
+use sched::{force, list, ResourceConstraint};
+
+fn bench_reorder(c: &mut Criterion) {
+    println!("{}", ablation::render_reorder(&ablation::reorder_ablation().expect("reorder ablation")));
+    let cdfg = vender();
+    let mut group = c.benchmark_group("ablation_mux_order");
+    for (label, order) in [
+        ("outputs_first", MuxOrder::OutputsFirst),
+        ("inputs_first", MuxOrder::InputsFirst),
+        ("by_savings", MuxOrder::BySavings),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                power_manage(
+                    black_box(&cdfg),
+                    &PowerManagementOptions::with_latency(6).mux_order(order.clone()),
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.bench_function("reordered_search", |b| {
+        b.iter(|| {
+            power_manage_reordered(black_box(&cdfg), &PowerManagementOptions::with_latency(6), 4).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    println!("{}", ablation::render_pipeline(&ablation::pipeline_ablation().expect("pipeline ablation")));
+    let cdfg = dealer();
+    let mut group = c.benchmark_group("ablation_pipeline_depth");
+    for stages in 1..=3u32 {
+        group.bench_with_input(BenchmarkId::from_parameter(stages), &stages, |b, &stages| {
+            b.iter(|| {
+                power_manage_pipelined(black_box(&cdfg), &PowerManagementOptions::with_latency(4), stages)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_scheduler_choice(c: &mut Criterion) {
+    let cdfg = gcd();
+    let latency = 7;
+    let allocation = hyper::minimum_resources(&cdfg, latency).expect("allocation");
+    let mut group = c.benchmark_group("ablation_scheduler");
+    group.bench_function("force_directed", |b| {
+        b.iter(|| force::schedule(black_box(&cdfg), latency).unwrap())
+    });
+    group.bench_function("list_constrained", |b| {
+        b.iter(|| {
+            list::schedule(black_box(&cdfg), &ResourceConstraint::Limited(allocation.clone()), latency)
+                .unwrap()
+        })
+    });
+    group.bench_function("hyper_min_resources", |b| {
+        b.iter(|| hyper::schedule(black_box(&cdfg), &HyperOptions::with_latency(latency)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_resource_budget(c: &mut Criterion) {
+    let cdfg = vender();
+    let unconstrained =
+        power_manage(&cdfg, &PowerManagementOptions::with_latency(6)).expect("unconstrained run");
+    let baseline_units = unconstrained.baseline_resource_usage();
+    let mut group = c.benchmark_group("ablation_resource_budget");
+    group.bench_function("unlimited_units", |b| {
+        b.iter(|| power_manage(black_box(&cdfg), &PowerManagementOptions::with_latency(6)).unwrap())
+    });
+    group.bench_function("baseline_units", |b| {
+        b.iter(|| {
+            power_manage(
+                black_box(&cdfg),
+                &PowerManagementOptions::with_resources(
+                    6,
+                    ResourceConstraint::Limited(baseline_units.clone()),
+                ),
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_reorder, bench_pipeline, bench_scheduler_choice, bench_resource_budget);
+criterion_main!(benches);

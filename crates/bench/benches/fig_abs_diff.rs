@@ -1,0 +1,31 @@
+//! Figures 1 and 2: the |a - b| walkthrough.
+//!
+//! Prints both figure reproductions once, then measures the cost of the
+//! power-management scheduling pass at 2 and 3 control steps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use circuits::abs_diff;
+use experiments::figures;
+use pmsched::{power_manage, PowerManagementOptions};
+
+fn bench_figures(c: &mut Criterion) {
+    let fig1 = figures::figure1().expect("figure 1 flow");
+    println!("{}", figures::render_figure1(&fig1));
+    let fig2 = figures::figure2().expect("figure 2 flow");
+    println!("{}", figures::render_figure2(&fig2));
+
+    let cdfg = abs_diff();
+    let mut group = c.benchmark_group("figures_abs_diff");
+    group.bench_function("figure1_two_steps", |b| {
+        b.iter(|| power_manage(black_box(&cdfg), &PowerManagementOptions::with_latency(2)).unwrap())
+    });
+    group.bench_function("figure2_three_steps", |b| {
+        b.iter(|| power_manage(black_box(&cdfg), &PowerManagementOptions::with_latency(3)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Table I: circuit statistics.
+//!
+//! Prints the table once, then measures the cost of building each benchmark
+//! CDFG and computing its statistics (the "parse + analyse" part of the
+//! flow).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use circuits::{cordic, dealer, gcd, vender, CircuitStats};
+use experiments::table1;
+
+fn bench_table1(c: &mut Criterion) {
+    println!("{}", table1::render(&table1::table1()));
+
+    let mut group = c.benchmark_group("table1_stats");
+    group.bench_function("dealer_build_and_stats", |b| {
+        b.iter(|| CircuitStats::of(black_box(&dealer())))
+    });
+    group.bench_function("gcd_build_and_stats", |b| b.iter(|| CircuitStats::of(black_box(&gcd()))));
+    group.bench_function("vender_build_and_stats", |b| {
+        b.iter(|| CircuitStats::of(black_box(&vender())))
+    });
+    group.bench_function("cordic_build_and_stats", |b| {
+        b.iter(|| CircuitStats::of(black_box(&cordic())))
+    });
+    group.bench_function("abs_diff_from_silage", |b| {
+        b.iter(|| silage::compile(black_box(circuits::abs_diff_silage_source())).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Table II: power-management scheduling and the datapath power estimate.
+//!
+//! Prints the regenerated table once, then measures the scheduling pass for
+//! every (circuit, control-step) pair the paper evaluates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use experiments::table2;
+use pmsched::{power_manage, PowerManagementOptions};
+
+fn bench_table2(c: &mut Criterion) {
+    let rows = table2::table2().expect("table 2 flow");
+    println!("{}", table2::render(&rows));
+
+    let mut group = c.benchmark_group("table2_power_management");
+    for (name, cdfg, steps) in bench::table2_cases() {
+        // Keep the heavyweight cordic runs to a small sample count so the
+        // full suite finishes in reasonable time.
+        if name == "cordic" {
+            group.sample_size(10);
+        } else {
+            group.sample_size(30);
+        }
+        group.bench_with_input(
+            BenchmarkId::new(name.clone(), steps),
+            &(cdfg, steps),
+            |b, (cdfg, steps)| {
+                b.iter(|| {
+                    let result =
+                        power_manage(black_box(cdfg), &PowerManagementOptions::with_latency(*steps))
+                            .unwrap();
+                    black_box(result.savings().reduction_percent)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

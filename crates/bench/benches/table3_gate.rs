@@ -1,0 +1,37 @@
+//! Table III: gate-level area and simulated power (the Synopsys substitute).
+//!
+//! Prints the regenerated table once, then measures the full gate-level
+//! comparison flow (schedule + bind + controller + RTL simulation over
+//! random vectors) for the three circuits the paper synthesised.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use circuits::{dealer, gcd, vender};
+use experiments::table3;
+use power::estimate::{gate_level_comparison, GateLevelOptions};
+
+fn bench_table3(c: &mut Criterion) {
+    let rows = table3::table3().expect("table 3 flow");
+    println!("{}", table3::render(&rows));
+
+    let cases = [("dealer", dealer(), 6u32), ("gcd", gcd(), 7), ("vender", vender(), 6)];
+    let mut group = c.benchmark_group("table3_gate_level");
+    group.sample_size(10);
+    for (name, cdfg, steps) in cases {
+        group.bench_with_input(BenchmarkId::new(name, steps), &(cdfg, steps), |b, (cdfg, steps)| {
+            b.iter(|| {
+                let report = gate_level_comparison(
+                    black_box(cdfg),
+                    &GateLevelOptions::new(*steps).samples(200),
+                )
+                .unwrap();
+                black_box(report.power_reduction_percent)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

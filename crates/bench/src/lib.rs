@@ -1,0 +1,45 @@
+//! Benchmark harness crate.
+//!
+//! The Criterion benches under `benches/` regenerate every table and figure
+//! of the paper and measure the cost of the synthesis passes themselves:
+//!
+//! * `fig_abs_diff` — Figures 1 and 2 (the |a − b| walkthrough),
+//! * `table1_stats` — Table I (circuit statistics),
+//! * `table2_power` — Table II (power-management scheduling and the
+//!   datapath power estimate for every circuit/budget pair),
+//! * `table3_gate` — Table III (gate-level area and simulated power),
+//! * `ablations` — the Section IV extensions (multiplexor reordering and
+//!   pipelining) plus scheduler-cost ablations.
+//!
+//! Run them all with `cargo bench --workspace`; each bench prints the table
+//! it regenerates once before measuring.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Returns the benchmark circuits paired with the control-step budgets used
+/// throughout the benches (re-exported so the individual bench binaries stay
+/// tiny).
+pub fn table2_cases() -> Vec<(String, cdfg::Cdfg, u32)> {
+    circuits::all_benchmarks()
+        .into_iter()
+        .flat_map(|b| {
+            let name = b.name.to_owned();
+            let cdfg = b.cdfg;
+            b.control_steps
+                .into_iter()
+                .map(move |steps| (name.clone(), cdfg.clone(), steps))
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_cover_all_ten_table2_rows() {
+        assert_eq!(table2_cases().len(), 10);
+    }
+}

@@ -1,0 +1,151 @@
+//! Relative area estimation of a datapath.
+//!
+//! The paper reports area as relative numbers (Table II gives a ratio, Table
+//! III the Synopsys cell-area estimate).  This model counts equivalent
+//! two-input-gate area per bit for each component class, which is enough to
+//! reproduce both shapes: the execution-unit ratio of Table II and the
+//! total-area comparison of Table III (once the controller area from the
+//! `rtl` crate is added).
+
+use std::fmt;
+
+use cdfg::OpClass;
+use pmsched::OpWeights;
+
+use crate::datapath::Datapath;
+
+/// Gate-equivalents-per-bit model for datapath components.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AreaModel {
+    /// Relative area of one execution unit of each class, per bit of
+    /// datapath width.
+    pub unit_weights: OpWeights,
+    /// Area of one register bit.
+    pub register_bit: f64,
+    /// Area of one steering-multiplexor data input, per bit.
+    pub steering_input_bit: f64,
+}
+
+impl AreaModel {
+    /// The default model: unit areas from [`OpWeights::paper_area`], one
+    /// gate-equivalent per register bit and a third of a gate per steering
+    /// input bit.
+    pub fn new() -> Self {
+        AreaModel {
+            unit_weights: OpWeights::paper_area(),
+            register_bit: 1.0,
+            steering_input_bit: 0.35,
+        }
+    }
+
+    /// Estimates the area of `datapath`.
+    pub fn estimate(&self, datapath: &Datapath) -> AreaEstimate {
+        let bits = f64::from(datapath.bitwidth());
+        let units: f64 = datapath
+            .units()
+            .iter()
+            .map(|u| self.unit_weights.weight(u.class) * bits)
+            .sum();
+        let registers = datapath.registers().len() as f64 * self.register_bit * bits;
+        let interconnect = datapath.steering_input_count() as f64 * self.steering_input_bit * bits;
+        AreaEstimate { units, registers, interconnect }
+    }
+
+    /// Area of the execution units only (the quantity whose ratio Table II
+    /// reports in the "Area Incr." column).
+    pub fn unit_area(&self, datapath: &Datapath) -> f64 {
+        self.estimate(datapath).units
+    }
+
+    /// Area of one execution unit of `class` at `bits` datapath width.
+    pub fn unit_area_of(&self, class: OpClass, bits: u32) -> f64 {
+        self.unit_weights.weight(class) * f64::from(bits)
+    }
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        AreaModel::new()
+    }
+}
+
+/// The area breakdown of a datapath, in relative gate-equivalent units.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaEstimate {
+    /// Execution units.
+    pub units: f64,
+    /// Registers.
+    pub registers: f64,
+    /// Steering (interconnect) multiplexors.
+    pub interconnect: f64,
+}
+
+impl AreaEstimate {
+    /// Total datapath area.
+    pub fn total(&self) -> f64 {
+        self.units + self.registers + self.interconnect
+    }
+}
+
+impl fmt::Display for AreaEstimate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "area: units {:.1} + registers {:.1} + interconnect {:.1} = {:.1}",
+            self.units,
+            self.registers,
+            self.interconnect,
+            self.total()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datapath::Datapath;
+    use cdfg::{Cdfg, Op};
+    use sched::hyper::{self, HyperOptions};
+
+    fn abs_diff() -> Cdfg {
+        let mut g = Cdfg::new("abs_diff");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let gt = g.add_op(Op::Gt, &[a, b]).unwrap();
+        let amb = g.add_op(Op::Sub, &[a, b]).unwrap();
+        let bma = g.add_op(Op::Sub, &[b, a]).unwrap();
+        let m = g.add_mux(gt, bma, amb).unwrap();
+        g.add_output("abs", m).unwrap();
+        g
+    }
+
+    #[test]
+    fn two_subtractors_cost_more_unit_area_than_one() {
+        let g = abs_diff();
+        let model = AreaModel::new();
+        let two_subs = Datapath::build(&g, &hyper::schedule(&g, &HyperOptions::with_latency(2)).unwrap()).unwrap();
+        let one_sub = Datapath::build(&g, &hyper::schedule(&g, &HyperOptions::with_latency(3)).unwrap()).unwrap();
+        assert!(model.unit_area(&two_subs) > model.unit_area(&one_sub));
+    }
+
+    #[test]
+    fn estimate_components_are_positive_and_sum() {
+        let g = abs_diff();
+        let dp = Datapath::build(&g, &hyper::schedule(&g, &HyperOptions::with_latency(3)).unwrap()).unwrap();
+        let est = AreaModel::default().estimate(&dp);
+        assert!(est.units > 0.0);
+        assert!(est.registers > 0.0);
+        assert!((est.total() - (est.units + est.registers + est.interconnect)).abs() < 1e-9);
+        assert!(est.to_string().contains("area:"));
+    }
+
+    #[test]
+    fn unit_area_scales_with_bitwidth() {
+        let model = AreaModel::new();
+        assert_eq!(
+            model.unit_area_of(OpClass::Add, 16),
+            2.0 * model.unit_area_of(OpClass::Add, 8)
+        );
+        assert!(model.unit_area_of(OpClass::Mul, 8) > model.unit_area_of(OpClass::Add, 8));
+    }
+}

@@ -1,0 +1,235 @@
+//! The assembled datapath: execution units, registers and steering logic.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use cdfg::{Cdfg, NodeId};
+use sched::Schedule;
+
+use crate::error::BindError;
+use crate::fu::{FuBinding, UnitId};
+use crate::register::{RegisterAllocation, RegisterId};
+
+/// Where a unit input operand comes from in a given control step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum OperandSource {
+    /// A register of the datapath.
+    Register(RegisterId),
+    /// A constant hard-wired into the steering logic.
+    Constant(i64),
+    /// The operand is produced by a unit in the same control step (chaining
+    /// is not used by this flow, but the representation allows it so the
+    /// simulator can fall back to forwarding when a value is produced and
+    /// consumed in the same step).
+    Forward(NodeId),
+}
+
+/// One input port of one execution unit, together with every source that is
+/// ever routed to it.  More than one source means a steering multiplexor is
+/// needed in front of the port.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortRouting {
+    /// The unit the port belongs to.
+    pub unit: UnitId,
+    /// The port index (0-based operand position).
+    pub port: u16,
+    /// Every distinct source routed to this port across all control steps.
+    pub sources: BTreeSet<OperandSource>,
+}
+
+impl PortRouting {
+    /// Number of steering-multiplexor data inputs this port requires
+    /// (0 when a single source is wired directly).
+    pub fn steering_inputs(&self) -> usize {
+        if self.sources.len() > 1 {
+            self.sources.len()
+        } else {
+            0
+        }
+    }
+}
+
+/// The complete datapath model produced from a scheduled, bound design.
+#[derive(Debug, Clone)]
+pub struct Datapath {
+    fu: FuBinding,
+    registers: RegisterAllocation,
+    routing: Vec<PortRouting>,
+    operand_sources: BTreeMap<(NodeId, u16), OperandSource>,
+    bitwidth: u32,
+}
+
+impl Datapath {
+    /// Builds the datapath for a scheduled CDFG: binds operations to units,
+    /// allocates registers and derives the steering network.
+    ///
+    /// # Errors
+    ///
+    /// Propagates binding errors (unscheduled or unknown nodes).
+    pub fn build(cdfg: &Cdfg, schedule: &Schedule) -> Result<Self, BindError> {
+        let fu = FuBinding::bind(cdfg, schedule)?;
+        let registers = RegisterAllocation::allocate(cdfg, schedule)?;
+
+        let mut routing_map: BTreeMap<(UnitId, u16), BTreeSet<OperandSource>> = BTreeMap::new();
+        let mut operand_sources: BTreeMap<(NodeId, u16), OperandSource> = BTreeMap::new();
+
+        for node in cdfg.functional_nodes() {
+            let unit = fu.unit_of(node).ok_or(BindError::UnscheduledNode(node))?;
+            for (port, operand) in cdfg.operands(node).into_iter().enumerate() {
+                let source = source_of(cdfg, &registers, schedule, node, operand);
+                routing_map.entry((unit, port as u16)).or_default().insert(source);
+                operand_sources.insert((node, port as u16), source);
+            }
+        }
+
+        let routing = routing_map
+            .into_iter()
+            .map(|((unit, port), sources)| PortRouting { unit, port, sources })
+            .collect();
+
+        Ok(Datapath {
+            fu,
+            registers,
+            routing,
+            operand_sources,
+            bitwidth: cdfg.default_bitwidth(),
+        })
+    }
+
+    /// The functional-unit binding.
+    pub fn fu_binding(&self) -> &FuBinding {
+        &self.fu
+    }
+
+    /// The register allocation.
+    pub fn register_allocation(&self) -> &RegisterAllocation {
+        &self.registers
+    }
+
+    /// The physical execution units.
+    pub fn units(&self) -> &[crate::fu::FunctionalUnit] {
+        self.fu.units()
+    }
+
+    /// The physical registers.
+    pub fn registers(&self) -> &[crate::register::Register] {
+        self.registers.registers()
+    }
+
+    /// Per-port routing information (the steering network).
+    pub fn routing(&self) -> &[PortRouting] {
+        &self.routing
+    }
+
+    /// The datapath word width in bits.
+    pub fn bitwidth(&self) -> u32 {
+        self.bitwidth
+    }
+
+    /// The source feeding operand `port` of operation `node`.
+    pub fn operand_source(&self, node: NodeId, port: u16) -> Option<OperandSource> {
+        self.operand_sources.get(&(node, port)).copied()
+    }
+
+    /// Total number of steering-multiplexor data inputs in the datapath (a
+    /// proxy for interconnect complexity and area).
+    pub fn steering_input_count(&self) -> usize {
+        self.routing.iter().map(PortRouting::steering_inputs).sum()
+    }
+}
+
+fn source_of(
+    cdfg: &Cdfg,
+    registers: &RegisterAllocation,
+    schedule: &Schedule,
+    consumer: NodeId,
+    operand: NodeId,
+) -> OperandSource {
+    let data = cdfg.node(operand).expect("live operand");
+    if let cdfg::Op::Const(c) = data.op {
+        return OperandSource::Constant(c);
+    }
+    if let Some(reg) = registers.register_of(operand) {
+        // Same-step production (chaining) still reads the forwarded value,
+        // not the register, because the register is only loaded at the end
+        // of the producing step.
+        let produced = registers.lifetime(operand).map(|l| l.birth).unwrap_or(0);
+        let consumed = schedule.step_of(consumer).unwrap_or(u32::MAX);
+        if produced == consumed && data.op.is_functional() {
+            return OperandSource::Forward(operand);
+        }
+        return OperandSource::Register(reg);
+    }
+    OperandSource::Forward(operand)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdfg::{Op, OpClass};
+    use sched::hyper::{self, HyperOptions};
+
+    fn abs_diff() -> Cdfg {
+        let mut g = Cdfg::new("abs_diff");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let gt = g.add_op(Op::Gt, &[a, b]).unwrap();
+        let amb = g.add_op(Op::Sub, &[a, b]).unwrap();
+        let bma = g.add_op(Op::Sub, &[b, a]).unwrap();
+        let m = g.add_mux(gt, bma, amb).unwrap();
+        g.add_output("abs", m).unwrap();
+        g
+    }
+
+    #[test]
+    fn datapath_has_units_registers_and_routing() {
+        let g = abs_diff();
+        let s = hyper::schedule(&g, &HyperOptions::with_latency(3)).unwrap();
+        let dp = Datapath::build(&g, &s).unwrap();
+        assert_eq!(dp.fu_binding().unit_count(OpClass::Sub), 1);
+        assert!(dp.registers().len() >= 3, "inputs plus intermediates need storage");
+        assert!(!dp.routing().is_empty());
+        assert_eq!(dp.bitwidth(), 8);
+    }
+
+    #[test]
+    fn shared_subtractor_needs_steering() {
+        // With one subtractor executing both a-b and b-a, its two input
+        // ports each see two different sources, so steering muxes appear.
+        let g = abs_diff();
+        let s = hyper::schedule(&g, &HyperOptions::with_latency(3)).unwrap();
+        let dp = Datapath::build(&g, &s).unwrap();
+        assert!(dp.steering_input_count() >= 4);
+
+        // With two subtractors (latency 2) each port has a single source.
+        let s2 = hyper::schedule(&g, &HyperOptions::with_latency(2)).unwrap();
+        let dp2 = Datapath::build(&g, &s2).unwrap();
+        assert!(dp2.steering_input_count() < dp.steering_input_count());
+    }
+
+    #[test]
+    fn constants_are_wired_not_registered() {
+        let mut g = Cdfg::new("clamp");
+        let x = g.add_input("x");
+        let hi = g.add_const(100);
+        let over = g.add_op(Op::Gt, &[x, hi]).unwrap();
+        let m = g.add_mux(over, x, hi).unwrap();
+        g.add_output("y", m).unwrap();
+        let s = hyper::schedule(&g, &HyperOptions::with_latency(2)).unwrap();
+        let dp = Datapath::build(&g, &s).unwrap();
+        assert_eq!(dp.operand_source(over, 1), Some(OperandSource::Constant(100)));
+    }
+
+    #[test]
+    fn every_operand_has_a_source() {
+        let g = abs_diff();
+        for latency in 2..=4 {
+            let s = hyper::schedule(&g, &HyperOptions::with_latency(latency)).unwrap();
+            let dp = Datapath::build(&g, &s).unwrap();
+            for node in g.functional_nodes() {
+                for port in 0..g.node(node).unwrap().op.arity() as u16 {
+                    assert!(dp.operand_source(node, port).is_some(), "missing source for {node}:{port}");
+                }
+            }
+        }
+    }
+}

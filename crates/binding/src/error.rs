@@ -1,0 +1,46 @@
+//! Error type for the allocation passes.
+
+use std::fmt;
+
+use cdfg::NodeId;
+
+/// Errors produced while binding a scheduled CDFG onto hardware.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BindError {
+    /// A functional operation has no control step assigned.
+    UnscheduledNode(NodeId),
+    /// The schedule refers to a node that does not exist in the CDFG.
+    UnknownNode(NodeId),
+    /// The schedule failed validation before binding.
+    InvalidSchedule(String),
+}
+
+impl fmt::Display for BindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BindError::UnscheduledNode(n) => write!(f, "node {n} has no control step assigned"),
+            BindError::UnknownNode(n) => write!(f, "schedule refers to unknown node {n}"),
+            BindError::InvalidSchedule(msg) => write!(f, "invalid schedule: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BindError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(BindError::UnscheduledNode(NodeId::new(4)).to_string().contains("n4"));
+        assert!(BindError::InvalidSchedule("x".into()).to_string().contains("invalid"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BindError>();
+    }
+}

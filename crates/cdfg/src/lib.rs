@@ -1,0 +1,60 @@
+//! Control Data Flow Graph (CDFG) intermediate representation for
+//! behavioral synthesis.
+//!
+//! This crate is the IR substrate underneath the power-management-aware
+//! scheduling flow of Monteiro et al. (DAC 1996).  A [`Cdfg`] is a directed
+//! acyclic graph whose nodes are primitive operations ([`Op`]) — arithmetic,
+//! comparisons, multiplexors, inputs, constants and outputs — and whose edges
+//! carry either data dependences (with a destination port) or pure precedence
+//! ("control") constraints added by later passes.
+//!
+//! The crate provides:
+//!
+//! * a small, dependency-free directed-graph container ([`graph::DiGraph`]),
+//! * the operation set and its evaluation semantics ([`Op`], [`OpClass`]),
+//! * the CDFG itself with structural validation, topological ordering,
+//!   critical-path analysis, cone (transitive fanin/fanout) queries and
+//!   operation statistics ([`Cdfg`], [`OpCounts`]),
+//! * a fluent [`CdfgBuilder`] and Graphviz export ([`dot`]).
+//!
+//! # Example
+//!
+//! Building the `|a - b|` example from Figure 1 of the paper:
+//!
+//! ```
+//! use cdfg::{Cdfg, Op};
+//!
+//! # fn main() -> Result<(), cdfg::CdfgError> {
+//! let mut g = Cdfg::new("abs_diff");
+//! let a = g.add_input("a");
+//! let b = g.add_input("b");
+//! let gt = g.add_op(Op::Gt, &[a, b])?;
+//! let amb = g.add_op(Op::Sub, &[a, b])?;
+//! let bma = g.add_op(Op::Sub, &[b, a])?;
+//! let m = g.add_mux(gt, bma, amb)?;
+//! g.add_output("abs", m)?;
+//! g.validate()?;
+//! assert_eq!(g.op_counts().mux, 1);
+//! assert_eq!(g.critical_path_length(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod cdfg;
+pub mod cone;
+pub mod dot;
+pub mod error;
+pub mod graph;
+pub mod op;
+pub mod stats;
+
+pub use crate::builder::CdfgBuilder;
+pub use crate::cdfg::{Cdfg, EdgeData, EdgeKind, NodeData, MUX_FALSE_PORT, MUX_SELECT_PORT, MUX_TRUE_PORT};
+pub use crate::error::CdfgError;
+pub use crate::graph::{DiGraph, EdgeId, NodeId};
+pub use crate::op::{CompareKind, Op, OpClass};
+pub use crate::stats::OpCounts;

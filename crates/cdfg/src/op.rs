@@ -1,0 +1,464 @@
+//! The primitive operation set of the CDFG.
+//!
+//! Operations are deliberately close to what a 1990s behavioral synthesis
+//! system (HYPER) would offer: word-level arithmetic, comparisons, a
+//! two-input multiplexor for conditionals, plus the structural
+//! input/constant/output pseudo-operations.
+
+use std::fmt;
+
+/// The kind of comparison performed by a [`Op::Lt`]-family node.
+///
+/// Comparators all map onto the same `COMP` execution unit; the kind only
+/// affects evaluation semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompareKind {
+    /// Strictly less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Strictly greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+}
+
+impl CompareKind {
+    /// Evaluates the comparison on two signed word values, returning 1 or 0.
+    pub fn eval(self, a: i64, b: i64) -> i64 {
+        let r = match self {
+            CompareKind::Lt => a < b,
+            CompareKind::Le => a <= b,
+            CompareKind::Gt => a > b,
+            CompareKind::Ge => a >= b,
+            CompareKind::Eq => a == b,
+            CompareKind::Ne => a != b,
+        };
+        i64::from(r)
+    }
+
+    /// The comparison with operands swapped that yields the same result.
+    pub fn swapped(self) -> Self {
+        match self {
+            CompareKind::Lt => CompareKind::Gt,
+            CompareKind::Le => CompareKind::Ge,
+            CompareKind::Gt => CompareKind::Lt,
+            CompareKind::Ge => CompareKind::Le,
+            CompareKind::Eq => CompareKind::Eq,
+            CompareKind::Ne => CompareKind::Ne,
+        }
+    }
+}
+
+impl fmt::Display for CompareKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CompareKind::Lt => "<",
+            CompareKind::Le => "<=",
+            CompareKind::Gt => ">",
+            CompareKind::Ge => ">=",
+            CompareKind::Eq => "==",
+            CompareKind::Ne => "!=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A primitive CDFG operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Op {
+    /// A primary input of the design (no operands).
+    Input,
+    /// A compile-time constant (no operands).
+    Const(i64),
+    /// A primary output of the design (one operand).
+    Output,
+    /// Two's-complement addition.
+    Add,
+    /// Two's-complement subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Integer division (division by zero yields zero, as a hardware divider
+    /// with a zero guard would).
+    Div,
+    /// Arithmetic negation (one operand).
+    Neg,
+    /// Logical shift left by a constant-like second operand.
+    Shl,
+    /// Arithmetic shift right by a constant-like second operand.
+    Shr,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Bitwise not (one operand).
+    Not,
+    /// Word comparison producing a 1-bit result.
+    Gt,
+    /// Word comparison: less than.
+    Lt,
+    /// Word comparison: greater or equal.
+    Ge,
+    /// Word comparison: less or equal.
+    Le,
+    /// Word comparison: equal.
+    Eq,
+    /// Word comparison: not equal.
+    Ne,
+    /// Two-input multiplexor.  Port 0 is the select (control) input, port 1
+    /// the value chosen when the select is 0, port 2 the value chosen when
+    /// the select is non-zero.
+    Mux,
+}
+
+/// Coarse operation classes used for resource allocation, circuit statistics
+/// (Table I of the paper) and the relative power weights (Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OpClass {
+    /// Multiplexors.
+    Mux,
+    /// Comparators (all [`CompareKind`]s).
+    Comp,
+    /// Adders.
+    Add,
+    /// Subtractors (and negation, which a subtractor implements).
+    Sub,
+    /// Multipliers.
+    Mul,
+    /// Dividers.
+    Div,
+    /// Shifters and bitwise logic.
+    Logic,
+    /// Inputs, constants and outputs — structural nodes that occupy no
+    /// execution unit and consume no datapath power in the paper's model.
+    Structural,
+}
+
+impl OpClass {
+    /// All classes that occupy an execution unit, in the column order used by
+    /// the paper's tables (MUX, COMP, +, −, ×) followed by the extra classes
+    /// this implementation supports.
+    pub const FUNCTIONAL: [OpClass; 7] = [
+        OpClass::Mux,
+        OpClass::Comp,
+        OpClass::Add,
+        OpClass::Sub,
+        OpClass::Mul,
+        OpClass::Div,
+        OpClass::Logic,
+    ];
+
+    /// Short uppercase label matching the paper's table headers.
+    pub fn label(self) -> &'static str {
+        match self {
+            OpClass::Mux => "MUX",
+            OpClass::Comp => "COMP",
+            OpClass::Add => "+",
+            OpClass::Sub => "-",
+            OpClass::Mul => "*",
+            OpClass::Div => "/",
+            OpClass::Logic => "LOGIC",
+            OpClass::Structural => "IO",
+        }
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl Op {
+    /// Number of data operands the operation requires.
+    pub fn arity(self) -> usize {
+        match self {
+            Op::Input | Op::Const(_) => 0,
+            Op::Output | Op::Neg | Op::Not => 1,
+            Op::Mux => 3,
+            _ => 2,
+        }
+    }
+
+    /// Returns the comparison kind if this is a comparator operation.
+    pub fn compare_kind(self) -> Option<CompareKind> {
+        match self {
+            Op::Gt => Some(CompareKind::Gt),
+            Op::Lt => Some(CompareKind::Lt),
+            Op::Ge => Some(CompareKind::Ge),
+            Op::Le => Some(CompareKind::Le),
+            Op::Eq => Some(CompareKind::Eq),
+            Op::Ne => Some(CompareKind::Ne),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for inputs and constants (nodes without operands).
+    pub fn is_source(self) -> bool {
+        matches!(self, Op::Input | Op::Const(_))
+    }
+
+    /// Returns `true` for output nodes.
+    pub fn is_output(self) -> bool {
+        matches!(self, Op::Output)
+    }
+
+    /// Returns `true` if this operation occupies an execution unit in the
+    /// datapath (everything except inputs, constants and outputs).
+    pub fn is_functional(self) -> bool {
+        !matches!(self, Op::Input | Op::Const(_) | Op::Output)
+    }
+
+    /// Returns `true` for multiplexor nodes.
+    pub fn is_mux(self) -> bool {
+        matches!(self, Op::Mux)
+    }
+
+    /// Returns `true` for comparator nodes.
+    pub fn is_comparator(self) -> bool {
+        self.compare_kind().is_some()
+    }
+
+    /// The coarse [`OpClass`] of the operation.
+    pub fn class(self) -> OpClass {
+        match self {
+            Op::Input | Op::Const(_) | Op::Output => OpClass::Structural,
+            Op::Add => OpClass::Add,
+            Op::Sub | Op::Neg => OpClass::Sub,
+            Op::Mul => OpClass::Mul,
+            Op::Div => OpClass::Div,
+            Op::Shl | Op::Shr | Op::And | Op::Or | Op::Xor | Op::Not => OpClass::Logic,
+            Op::Gt | Op::Lt | Op::Ge | Op::Le | Op::Eq | Op::Ne => OpClass::Comp,
+            Op::Mux => OpClass::Mux,
+        }
+    }
+
+    /// Latency of the operation in control steps.
+    ///
+    /// The paper assumes every operation (including the multiplexor) takes
+    /// one control step; this model keeps that assumption but leaves the
+    /// hook in one place should a multi-cycle multiplier ever be wanted.
+    pub fn delay(self) -> u32 {
+        match self {
+            Op::Input | Op::Const(_) | Op::Output => 0,
+            _ => 1,
+        }
+    }
+
+    /// Evaluates the operation on its operand values.
+    ///
+    /// Values are plain signed words; the datapath bitwidth is applied by the
+    /// RTL simulator, not here.  Division by zero returns zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `args.len()` does not equal [`Op::arity`] (for functional
+    /// operations) or if an `Input` node is evaluated (inputs have no
+    /// defining expression).
+    pub fn eval(self, args: &[i64]) -> i64 {
+        match self {
+            Op::Input => panic!("input nodes have no evaluation semantics"),
+            Op::Const(c) => c,
+            Op::Output | Op::Neg | Op::Not => {
+                assert_eq!(args.len(), 1, "unary op expects 1 operand");
+                match self {
+                    Op::Output => args[0],
+                    Op::Neg => args[0].wrapping_neg(),
+                    Op::Not => !args[0],
+                    _ => unreachable!(),
+                }
+            }
+            Op::Mux => {
+                assert_eq!(args.len(), 3, "mux expects select, false, true operands");
+                if args[0] != 0 {
+                    args[2]
+                } else {
+                    args[1]
+                }
+            }
+            _ => {
+                assert_eq!(args.len(), 2, "binary op expects 2 operands");
+                let (a, b) = (args[0], args[1]);
+                match self {
+                    Op::Add => a.wrapping_add(b),
+                    Op::Sub => a.wrapping_sub(b),
+                    Op::Mul => a.wrapping_mul(b),
+                    Op::Div => {
+                        if b == 0 {
+                            0
+                        } else {
+                            a.wrapping_div(b)
+                        }
+                    }
+                    Op::Shl => a.wrapping_shl((b & 63) as u32),
+                    Op::Shr => a.wrapping_shr((b & 63) as u32),
+                    Op::And => a & b,
+                    Op::Or => a | b,
+                    Op::Xor => a ^ b,
+                    Op::Gt | Op::Lt | Op::Ge | Op::Le | Op::Eq | Op::Ne => {
+                        self.compare_kind().expect("comparator").eval(a, b)
+                    }
+                    _ => unreachable!("covered by outer match"),
+                }
+            }
+        }
+    }
+
+    /// Short mnemonic used in schedules, DOT dumps and generated VHDL.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Op::Input => "in",
+            Op::Const(_) => "const",
+            Op::Output => "out",
+            Op::Add => "add",
+            Op::Sub => "sub",
+            Op::Mul => "mul",
+            Op::Div => "div",
+            Op::Neg => "neg",
+            Op::Shl => "shl",
+            Op::Shr => "shr",
+            Op::And => "and",
+            Op::Or => "or",
+            Op::Xor => "xor",
+            Op::Not => "not",
+            Op::Gt => "gt",
+            Op::Lt => "lt",
+            Op::Ge => "ge",
+            Op::Le => "le",
+            Op::Eq => "eq",
+            Op::Ne => "ne",
+            Op::Mux => "mux",
+        }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Const(c) => write!(f, "const({c})"),
+            _ => f.write_str(self.mnemonic()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_matches_eval_expectations() {
+        assert_eq!(Op::Add.arity(), 2);
+        assert_eq!(Op::Mux.arity(), 3);
+        assert_eq!(Op::Neg.arity(), 1);
+        assert_eq!(Op::Input.arity(), 0);
+        assert_eq!(Op::Const(3).arity(), 0);
+        assert_eq!(Op::Output.arity(), 1);
+    }
+
+    #[test]
+    fn eval_arithmetic() {
+        assert_eq!(Op::Add.eval(&[3, 4]), 7);
+        assert_eq!(Op::Sub.eval(&[3, 4]), -1);
+        assert_eq!(Op::Mul.eval(&[3, 4]), 12);
+        assert_eq!(Op::Div.eval(&[12, 4]), 3);
+        assert_eq!(Op::Div.eval(&[12, 0]), 0, "division by zero is guarded");
+        assert_eq!(Op::Neg.eval(&[5]), -5);
+    }
+
+    #[test]
+    fn eval_comparisons() {
+        assert_eq!(Op::Gt.eval(&[5, 3]), 1);
+        assert_eq!(Op::Gt.eval(&[3, 5]), 0);
+        assert_eq!(Op::Le.eval(&[3, 3]), 1);
+        assert_eq!(Op::Eq.eval(&[3, 3]), 1);
+        assert_eq!(Op::Ne.eval(&[3, 3]), 0);
+    }
+
+    #[test]
+    fn eval_mux_selects_by_control() {
+        assert_eq!(Op::Mux.eval(&[0, 10, 20]), 10);
+        assert_eq!(Op::Mux.eval(&[1, 10, 20]), 20);
+        assert_eq!(Op::Mux.eval(&[-3, 10, 20]), 20, "any non-zero select picks the true input");
+    }
+
+    #[test]
+    fn eval_logic_and_shifts() {
+        assert_eq!(Op::And.eval(&[0b1100, 0b1010]), 0b1000);
+        assert_eq!(Op::Or.eval(&[0b1100, 0b1010]), 0b1110);
+        assert_eq!(Op::Xor.eval(&[0b1100, 0b1010]), 0b0110);
+        assert_eq!(Op::Not.eval(&[0]), -1);
+        assert_eq!(Op::Shl.eval(&[1, 4]), 16);
+        assert_eq!(Op::Shr.eval(&[-16, 2]), -4);
+    }
+
+    #[test]
+    fn classes_match_paper_columns() {
+        assert_eq!(Op::Mux.class(), OpClass::Mux);
+        assert_eq!(Op::Gt.class(), OpClass::Comp);
+        assert_eq!(Op::Add.class(), OpClass::Add);
+        assert_eq!(Op::Sub.class(), OpClass::Sub);
+        assert_eq!(Op::Mul.class(), OpClass::Mul);
+        assert_eq!(Op::Input.class(), OpClass::Structural);
+        assert_eq!(OpClass::Mul.label(), "*");
+    }
+
+    #[test]
+    fn functional_flags() {
+        assert!(Op::Add.is_functional());
+        assert!(!Op::Input.is_functional());
+        assert!(!Op::Output.is_functional());
+        assert!(Op::Input.is_source());
+        assert!(Op::Const(1).is_source());
+        assert!(Op::Output.is_output());
+        assert!(Op::Mux.is_mux());
+        assert!(Op::Lt.is_comparator());
+        assert!(!Op::Add.is_comparator());
+    }
+
+    #[test]
+    fn delays_are_one_step_for_functional_ops() {
+        for op in [Op::Add, Op::Sub, Op::Mul, Op::Gt, Op::Mux] {
+            assert_eq!(op.delay(), 1);
+        }
+        assert_eq!(Op::Input.delay(), 0);
+        assert_eq!(Op::Output.delay(), 0);
+    }
+
+    #[test]
+    fn compare_kind_swapping() {
+        for kind in [
+            CompareKind::Lt,
+            CompareKind::Le,
+            CompareKind::Gt,
+            CompareKind::Ge,
+            CompareKind::Eq,
+            CompareKind::Ne,
+        ] {
+            for (a, b) in [(1, 2), (2, 1), (3, 3)] {
+                assert_eq!(kind.eval(a, b), kind.swapped().eval(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Op::Add.to_string(), "add");
+        assert_eq!(Op::Const(7).to_string(), "const(7)");
+        assert_eq!(CompareKind::Ge.to_string(), ">=");
+        assert_eq!(OpClass::Comp.to_string(), "COMP");
+    }
+
+    #[test]
+    #[should_panic(expected = "binary op expects 2 operands")]
+    fn eval_with_wrong_arity_panics() {
+        Op::Add.eval(&[1]);
+    }
+}

@@ -1,0 +1,125 @@
+//! Operation statistics (the columns of Table I in the paper).
+
+use std::fmt;
+
+use crate::cdfg::Cdfg;
+use crate::op::OpClass;
+
+/// Number of operations of each class in a design, as reported in Table I of
+/// the paper (MUX, COMP, +, −, ×) plus the extra classes this implementation
+/// supports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    /// Multiplexors.
+    pub mux: usize,
+    /// Comparators.
+    pub comp: usize,
+    /// Adders.
+    pub add: usize,
+    /// Subtractors.
+    pub sub: usize,
+    /// Multipliers.
+    pub mul: usize,
+    /// Dividers.
+    pub div: usize,
+    /// Shifters / bitwise logic.
+    pub logic: usize,
+}
+
+impl OpCounts {
+    /// Counts the functional operations of `cdfg` by class.
+    pub fn from_cdfg(cdfg: &Cdfg) -> Self {
+        let mut counts = OpCounts::default();
+        for (_, data) in cdfg.iter_nodes() {
+            counts.bump(data.op.class());
+        }
+        counts
+    }
+
+    /// Increments the counter for `class` (structural nodes are ignored).
+    pub fn bump(&mut self, class: OpClass) {
+        match class {
+            OpClass::Mux => self.mux += 1,
+            OpClass::Comp => self.comp += 1,
+            OpClass::Add => self.add += 1,
+            OpClass::Sub => self.sub += 1,
+            OpClass::Mul => self.mul += 1,
+            OpClass::Div => self.div += 1,
+            OpClass::Logic => self.logic += 1,
+            OpClass::Structural => {}
+        }
+    }
+
+    /// Count for a single class (zero for [`OpClass::Structural`]).
+    pub fn count(&self, class: OpClass) -> usize {
+        match class {
+            OpClass::Mux => self.mux,
+            OpClass::Comp => self.comp,
+            OpClass::Add => self.add,
+            OpClass::Sub => self.sub,
+            OpClass::Mul => self.mul,
+            OpClass::Div => self.div,
+            OpClass::Logic => self.logic,
+            OpClass::Structural => 0,
+        }
+    }
+
+    /// Total number of functional operations.
+    pub fn total(&self) -> usize {
+        self.mux + self.comp + self.add + self.sub + self.mul + self.div + self.logic
+    }
+
+    /// Iterates over `(class, count)` pairs in the paper's column order.
+    pub fn iter(&self) -> impl Iterator<Item = (OpClass, usize)> + '_ {
+        OpClass::FUNCTIONAL.iter().map(move |&c| (c, self.count(c)))
+    }
+}
+
+impl fmt::Display for OpCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "MUX:{} COMP:{} +:{} -:{} *:{}",
+            self.mux, self.comp, self.add, self.sub, self.mul
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Op;
+
+    #[test]
+    fn counts_match_manual_tally() {
+        let mut g = Cdfg::new("t");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let s = g.add_op(Op::Add, &[a, b]).unwrap();
+        let d = g.add_op(Op::Sub, &[a, b]).unwrap();
+        let p = g.add_op(Op::Mul, &[s, d]).unwrap();
+        let c = g.add_op(Op::Lt, &[s, d]).unwrap();
+        let m = g.add_mux(c, p, s).unwrap();
+        g.add_output("o", m).unwrap();
+        let counts = g.op_counts();
+        assert_eq!(counts, OpCounts { mux: 1, comp: 1, add: 1, sub: 1, mul: 1, div: 0, logic: 0 });
+        assert_eq!(counts.total(), 5);
+        assert_eq!(counts.count(OpClass::Mul), 1);
+        assert_eq!(counts.count(OpClass::Structural), 0);
+    }
+
+    #[test]
+    fn iter_covers_all_functional_classes() {
+        let counts = OpCounts { mux: 1, comp: 2, add: 3, sub: 4, mul: 5, div: 6, logic: 7 };
+        let collected: Vec<(OpClass, usize)> = counts.iter().collect();
+        assert_eq!(collected.len(), OpClass::FUNCTIONAL.len());
+        assert!(collected.contains(&(OpClass::Add, 3)));
+        assert!(collected.contains(&(OpClass::Logic, 7)));
+    }
+
+    #[test]
+    fn display_matches_paper_columns() {
+        let counts = OpCounts { mux: 3, comp: 3, add: 2, sub: 1, mul: 0, div: 0, logic: 0 };
+        assert_eq!(counts.to_string(), "MUX:3 COMP:3 +:2 -:1 *:0");
+    }
+}

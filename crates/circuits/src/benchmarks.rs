@@ -1,0 +1,397 @@
+//! The benchmark designs.
+//!
+//! Each builder reconstructs a design whose operation mix matches the
+//! corresponding row of Table I of the paper (the original Silage sources
+//! are not public).  See the crate-level documentation for the target
+//! numbers and `DESIGN.md` for the substitution rationale.
+
+use cdfg::{Cdfg, CdfgBuilder, NodeId, Op};
+
+/// A named benchmark circuit together with the control-step budgets the
+/// paper evaluates it at (column 2 of Table II).
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Circuit name as it appears in the paper's tables.
+    pub name: &'static str,
+    /// The design itself.
+    pub cdfg: Cdfg,
+    /// Control-step budgets evaluated in Table II.
+    pub control_steps: Vec<u32>,
+}
+
+/// All four benchmark circuits of the paper, with their Table II
+/// control-step budgets.
+pub fn all_benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark { name: "dealer", cdfg: dealer(), control_steps: vec![4, 5, 6] },
+        Benchmark { name: "gcd", cdfg: gcd(), control_steps: vec![5, 6, 7] },
+        Benchmark { name: "vender", cdfg: vender(), control_steps: vec![5, 6] },
+        Benchmark { name: "cordic", cdfg: cordic(), control_steps: vec![48, 52] },
+    ]
+}
+
+/// The `|a - b|` example of Figures 1 and 2.
+pub fn abs_diff() -> Cdfg {
+    let mut b = CdfgBuilder::new("abs_diff");
+    let a = b.input("a");
+    let x = b.input("b");
+    let gt = b.gt(a, x).expect("valid operands");
+    let amb = b.sub(a, x).expect("valid operands");
+    let bma = b.sub(x, a).expect("valid operands");
+    let m = b.mux(gt, bma, amb).expect("valid operands");
+    b.output("abs", m).expect("fresh output name");
+    b.finish().expect("abs_diff is structurally valid")
+}
+
+/// The `|a - b|` example as Silage-like source text, for exercising the
+/// frontend end to end.
+pub fn abs_diff_silage_source() -> &'static str {
+    r#"
+    # Figure 1 of the paper: |a - b| with an explicit condition.
+    func abs_diff(a: num[8], b: num[8]) -> (abs: num[8]) {
+        c   = a > b;
+        abs = if c then a - b else b - a;
+    }
+    "#
+}
+
+/// `dealer`: a small card-dealing controller datapath.
+///
+/// Table I row: critical path 4, 3 MUX, 3 COMP, 2 `+`, 1 `−`.
+/// The outer conditional selects between a shared running sum and a
+/// secondary computation (a comparison, a subtraction and an inner
+/// conditional) that can be shut down entirely.
+pub fn dealer() -> Cdfg {
+    let mut b = CdfgBuilder::new("dealer");
+    let a = b.input("a");
+    let bb = b.input("b");
+    let c = b.input("c");
+    let d = b.input("d");
+
+    // Shared first-level values (never shut down: they feed both branches).
+    let c1 = b.gt(a, bb).expect("ops");
+    let s1 = b.add(a, bb).expect("ops");
+    let s2 = b.add(c, d).expect("ops");
+
+    // Secondary computation, exclusive to the outer conditional's branch.
+    let c2 = b.gt(s1, s2).expect("ops");
+    let d1 = b.sub(s1, s2).expect("ops");
+    let m2 = b.mux(c2, s2, d1).expect("ops");
+
+    // Outer conditional: hand out the running sum when a > b, otherwise the
+    // secondary result (whose whole cone can then be shut down).
+    let m3 = b.mux(c1, m2, s1).expect("ops");
+
+    // Independent side channel (third mux and comparator).
+    let c3 = b.gt(s2, a).expect("ops");
+    let m1 = b.mux(c3, a, bb).expect("ops");
+
+    b.output("deal", m3).expect("output");
+    b.output("side", m1).expect("output");
+    b.finish().expect("dealer is structurally valid")
+}
+
+/// `gcd`: one iteration of the subtractive greatest-common-divisor step
+/// with swap and termination handling.
+///
+/// Table I row: critical path 5, 6 MUX, 2 COMP, 0 `+`, 1 `−`.
+pub fn gcd() -> Cdfg {
+    let mut b = CdfgBuilder::new("gcd");
+    let a = b.input("a");
+    let x = b.input("b");
+    let zero = b.constant(0);
+
+    let gt = b.gt(a, x).expect("ops");
+    let eq = b.eq(a, x).expect("ops");
+
+    // Order the operands so the subtraction is always non-negative.
+    let big = b.mux(gt, x, a).expect("ops");
+    let small = b.mux(gt, a, x).expect("ops");
+    let diff = b.sub(big, small).expect("ops");
+
+    // Next iteration state: when the larger operand came first the freshly
+    // computed difference continues, otherwise the swapped smaller operand
+    // does (and the subtraction result is never used).
+    let next_a = b.mux(gt, small, diff).expect("ops");
+    let next_b = b.mux(eq, small, x).expect("ops");
+    // The result port is only meaningful once the operands are equal.
+    let result = b.mux(eq, zero, a).expect("ops");
+    // Normalised output: keep the larger remaining operand first.
+    let next = b.mux(gt, next_a, next_b).expect("ops");
+
+    b.output("result", result).expect("output");
+    b.output("next", next).expect("output");
+    // The un-normalised next numerator is observable as well (it feeds the
+    // iteration register file in the full design).
+    b.output("next_a", next_a).expect("output");
+    b.finish().expect("gcd is structurally valid")
+}
+
+/// `vender`: a vending-machine price/change datapath with two multipliers
+/// inside conditional branches.
+///
+/// Table I row: critical path 5, 6 MUX, 3 COMP, 3 `+`, 3 `−`, 2 `×`.
+pub fn vender() -> Cdfg {
+    let mut b = CdfgBuilder::new("vender");
+    let item = b.input("item");
+    let coins = b.input("coins");
+    let price = b.input("price");
+    let stock = b.input("stock");
+    let tax = b.input("tax");
+
+    let sum = b.add(coins, tax).expect("ops");
+    let avail = b.sub(stock, item).expect("ops");
+    let c1 = b.gt(coins, price).expect("ops");
+    let c2 = b.gt(stock, item).expect("ops");
+    let c3 = b.gt(item, tax).expect("ops");
+
+    // Price computation: bulk pricing needs a multiply, single pricing an
+    // add; only one of the two is ever used.
+    let bulk = b.mul(sum, price).expect("ops");
+    let single = b.add(sum, price).expect("ops");
+    let m1 = b.mux(c1, single, bulk).expect("ops");
+
+    // Discount computation: again a multiply or a subtract, exclusively.
+    let disc = b.mul(avail, tax).expect("ops");
+    let full = b.sub(avail, tax).expect("ops");
+    let m2 = b.mux(c2, full, disc).expect("ops");
+
+    // Change computation on the selected values.
+    let change_sub = b.sub(m1, m2).expect("ops");
+    let change_add = b.add(m1, m2).expect("ops");
+    let m3 = b.mux(c3, change_add, change_sub).expect("ops");
+
+    // Token/credit side channel.
+    let m4 = b.mux(c2, item, price).expect("ops");
+    let m5 = b.mux(c3, m4, coins).expect("ops");
+    let m6 = b.mux(c1, m5, stock).expect("ops");
+
+    b.output("dispense", m3).expect("output");
+    b.output("credit", m6).expect("output");
+    b.finish().expect("vender is structurally valid")
+}
+
+/// `cordic`: a 16-iteration unrolled CORDIC rotator.
+///
+/// Table I row: critical path 48, 47 MUX, 16 COMP, 43 `+`, 46 `−`
+/// (the per-iteration shifts are constant-shift operations that the paper's
+/// table does not list).
+pub fn cordic() -> Cdfg {
+    build_cordic("cordic", 14, true)
+}
+
+/// A CORDIC rotator with `iterations` full iterations and no trimmed tail —
+/// useful for smaller experiments (e.g. the pipelining example).
+pub fn cordic_with_iterations(iterations: u32) -> Cdfg {
+    build_cordic(&format!("cordic{iterations}"), iterations, false)
+}
+
+/// Arc-tangent table entries for the angle accumulator, scaled to an 8-bit
+/// integer angle; the precise values do not matter for scheduling.
+fn atan_entry(i: u32) -> i64 {
+    (90 >> i).max(1)
+}
+
+fn build_cordic(name: &str, full_iterations: u32, trimmed_tail: bool) -> Cdfg {
+    let mut b = CdfgBuilder::new(name);
+    let mut x = b.input("x0");
+    let mut y = b.input("y0");
+    let mut z = b.input("z0");
+    let zero = b.constant(0);
+
+    for i in 0..full_iterations {
+        let shift = b.constant(i64::from(i));
+        let angle = b.constant(atan_entry(i));
+        // Rotation direction from the sign of the residual angle.
+        let dir = b.ge(z, zero).expect("ops");
+
+        let xs = b.op(Op::Shr, &[y, shift]).expect("ops");
+        let ys = b.op(Op::Shr, &[x, shift]).expect("ops");
+
+        let x_add = b.add(x, xs).expect("ops");
+        let x_sub = b.sub(x, xs).expect("ops");
+        x = b.mux(dir, x_add, x_sub).expect("ops");
+
+        let y_add = b.add(y, ys).expect("ops");
+        let y_sub = b.sub(y, ys).expect("ops");
+        y = b.mux(dir, y_sub, y_add).expect("ops");
+
+        let z_add = b.add(z, angle).expect("ops");
+        let z_sub = b.sub(z, angle).expect("ops");
+        z = b.mux(dir, z_add, z_sub).expect("ops");
+    }
+
+    if trimmed_tail {
+        // Iteration 15: the y channel is updated unconditionally and the
+        // angle accumulator only needs the "rotate" branch.
+        let i = full_iterations;
+        let shift = b.constant(i64::from(i));
+        let angle = b.constant(atan_entry(i));
+        let dir = b.ge(z, zero).expect("ops");
+
+        let xs = b.op(Op::Shr, &[y, shift]).expect("ops");
+        let ys = b.op(Op::Shr, &[x, shift]).expect("ops");
+        let x_add = b.add(x, xs).expect("ops");
+        let x_sub = b.sub(x, xs).expect("ops");
+        x = b.mux(dir, x_add, x_sub).expect("ops");
+
+        y = b.sub(y, ys).expect("ops");
+
+        let z_sub = b.sub(z, angle).expect("ops");
+        z = b.mux(dir, z, z_sub).expect("ops");
+
+        // Iteration 16: only selections and one subtraction remain.
+        let i = full_iterations + 1;
+        let shift = b.constant(i64::from(i));
+        let dir = b.ge(z, zero).expect("ops");
+
+        let new_x = b.mux(dir, y, x).expect("ops");
+        let ys = b.op(Op::Shr, &[x, shift]).expect("ops");
+        let y_sub = b.sub(y, ys).expect("ops");
+        let new_y = b.mux(dir, y, y_sub).expect("ops");
+        let new_z = b.mux(dir, x, z).expect("ops");
+        x = new_x;
+        y = new_y;
+        z = new_z;
+    }
+
+    b.output("x_out", x).expect("output");
+    b.output("y_out", y).expect("output");
+    b.output("z_out", z).expect("output");
+    b.finish().expect("cordic is structurally valid")
+}
+
+/// Convenience: the node id of the first primary output's driver (handy in
+/// tests and examples that want to inspect the final multiplexor).
+pub fn output_driver(cdfg: &Cdfg, index: usize) -> Option<NodeId> {
+    cdfg.outputs().get(index).map(|&o| cdfg.operands(o)[0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::CircuitStats;
+    use std::collections::BTreeMap;
+
+    fn assert_table1(cdfg: &Cdfg, cp: u32, mux: usize, comp: usize, add: usize, sub: usize, mul: usize) {
+        let stats = CircuitStats::of(cdfg);
+        assert_eq!(stats.critical_path, cp, "{}: critical path", cdfg.name());
+        assert_eq!(stats.counts.mux, mux, "{}: mux count", cdfg.name());
+        assert_eq!(stats.counts.comp, comp, "{}: comp count", cdfg.name());
+        assert_eq!(stats.counts.add, add, "{}: add count", cdfg.name());
+        assert_eq!(stats.counts.sub, sub, "{}: sub count", cdfg.name());
+        assert_eq!(stats.counts.mul, mul, "{}: mul count", cdfg.name());
+    }
+
+    #[test]
+    fn dealer_matches_table_1() {
+        assert_table1(&dealer(), 4, 3, 3, 2, 1, 0);
+    }
+
+    #[test]
+    fn gcd_matches_table_1() {
+        assert_table1(&gcd(), 5, 6, 2, 0, 1, 0);
+    }
+
+    #[test]
+    fn vender_matches_table_1() {
+        assert_table1(&vender(), 5, 6, 3, 3, 3, 2);
+    }
+
+    #[test]
+    fn cordic_matches_table_1() {
+        assert_table1(&cordic(), 48, 47, 16, 43, 46, 0);
+    }
+
+    #[test]
+    fn abs_diff_matches_figure_1() {
+        assert_table1(&abs_diff(), 2, 1, 1, 0, 2, 0);
+    }
+
+    #[test]
+    fn abs_diff_silage_source_compiles_to_the_same_structure() {
+        let from_source = silage::compile(abs_diff_silage_source()).unwrap();
+        let built = abs_diff();
+        assert_eq!(from_source.op_counts(), built.op_counts());
+        assert_eq!(from_source.critical_path_length(), built.critical_path_length());
+    }
+
+    #[test]
+    fn all_benchmarks_cover_the_paper_rows() {
+        let benches = all_benchmarks();
+        assert_eq!(benches.len(), 4);
+        assert_eq!(benches[0].name, "dealer");
+        assert_eq!(benches[3].control_steps, vec![48, 52]);
+        for bench in &benches {
+            bench.cdfg.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn gcd_evaluates_a_correct_iteration() {
+        let g = gcd();
+        let mut inputs = BTreeMap::new();
+        inputs.insert("a".to_owned(), 12);
+        inputs.insert("b".to_owned(), 8);
+        let out = g.evaluate(&inputs);
+        // a > b, not equal: next keeps iterating with (12-8, 8) = (4, 8);
+        // `next` is the larger remaining operand ordering applied to (4, 8).
+        assert_eq!(out["result"], 0, "not finished yet");
+        assert!(out["next"] == 4 || out["next"] == 8);
+
+        inputs.insert("a".to_owned(), 6);
+        inputs.insert("b".to_owned(), 6);
+        let out = g.evaluate(&inputs);
+        assert_eq!(out["result"], 6, "equal operands terminate with the gcd");
+    }
+
+    #[test]
+    fn dealer_evaluates_both_branches() {
+        let g = dealer();
+        let mut inputs = BTreeMap::new();
+        inputs.insert("a".to_owned(), 9);
+        inputs.insert("b".to_owned(), 3);
+        inputs.insert("c".to_owned(), 2);
+        inputs.insert("d".to_owned(), 1);
+        // a > b, so the running sum a+b is dealt directly.
+        assert_eq!(g.evaluate(&inputs)["deal"], 12);
+        inputs.insert("a".to_owned(), 1);
+        // a <= b: the secondary computation is selected.
+        let out = g.evaluate(&inputs);
+        assert_ne!(out["deal"], 4 + 9, "secondary branch selected");
+    }
+
+    #[test]
+    fn cordic_with_fewer_iterations_scales_linearly() {
+        let four = cordic_with_iterations(4);
+        let stats = CircuitStats::of(&four);
+        assert_eq!(stats.counts.mux, 12);
+        assert_eq!(stats.counts.comp, 4);
+        assert_eq!(stats.counts.add, 12);
+        assert_eq!(stats.counts.sub, 12);
+        assert_eq!(stats.critical_path, 12);
+    }
+
+    #[test]
+    fn cordic_rotation_preserves_magnitude_roughly() {
+        // A sanity check that the structure really is a rotator: rotating
+        // (64, 0) by a positive angle moves amplitude into y while the angle
+        // accumulator decreases.
+        let g = cordic_with_iterations(4);
+        let mut inputs = BTreeMap::new();
+        inputs.insert("x0".to_owned(), 64);
+        inputs.insert("y0".to_owned(), 0);
+        inputs.insert("z0".to_owned(), 45);
+        let out = g.evaluate(&inputs);
+        assert!(out["y_out"] != 0, "rotation moved energy into y");
+        assert!(out["z_out"] < 45, "residual angle decreased");
+    }
+
+    #[test]
+    fn output_driver_returns_the_final_mux() {
+        let g = abs_diff();
+        let driver = output_driver(&g, 0).unwrap();
+        assert!(g.node(driver).unwrap().op.is_mux());
+        assert!(output_driver(&g, 5).is_none());
+    }
+}

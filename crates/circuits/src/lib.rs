@@ -1,0 +1,37 @@
+//! Benchmark circuits for the DAC'96 power-management scheduling
+//! experiments.
+//!
+//! The paper evaluates four designs — `dealer`, `gcd`, `vender` and
+//! `cordic` — whose Silage sources are not public.  This crate reconstructs
+//! designs with the same operation mix (Table I columns), the same critical
+//! path and the same conditional structure, so the scheduling algorithm sees
+//! equivalent optimisation opportunities.  The |a − b| example of Figures 1
+//! and 2 is included as well.
+//!
+//! | circuit | critical path | MUX | COMP | + | − | × |
+//! |---------|---------------|-----|------|---|---|---|
+//! | dealer  | 4             | 3   | 3    | 2 | 1 | 0 |
+//! | gcd     | 5             | 6   | 2    | 0 | 1 | 0 |
+//! | vender  | 5             | 6   | 3    | 3 | 3 | 2 |
+//! | cordic  | 48            | 47  | 16   | 43| 46| 0 |
+//!
+//! # Example
+//!
+//! ```
+//! let dealer = circuits::dealer();
+//! let stats = circuits::CircuitStats::of(&dealer);
+//! assert_eq!(stats.critical_path, 4);
+//! assert_eq!(stats.counts.mux, 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod benchmarks;
+pub mod stats;
+
+pub use crate::benchmarks::{
+    abs_diff, abs_diff_silage_source, all_benchmarks, cordic, cordic_with_iterations, dealer, gcd,
+    vender, Benchmark,
+};
+pub use crate::stats::CircuitStats;

@@ -1,0 +1,69 @@
+//! Circuit statistics (Table I of the paper).
+
+use std::fmt;
+
+use cdfg::{Cdfg, OpCounts};
+
+/// The Table I row for one circuit: minimum number of control steps
+/// (critical path) and the number of operations of each class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CircuitStats {
+    /// Circuit name.
+    pub name: String,
+    /// Critical path length in control steps (column 2 of Table I).
+    pub critical_path: u32,
+    /// Operation counts (columns 3–7 of Table I).
+    pub counts: OpCounts,
+    /// Total number of CDFG nodes (including inputs, constants, outputs).
+    pub node_count: usize,
+}
+
+impl CircuitStats {
+    /// Computes the statistics of one design.
+    pub fn of(cdfg: &Cdfg) -> Self {
+        CircuitStats {
+            name: cdfg.name().to_owned(),
+            critical_path: cdfg.critical_path_length(),
+            counts: cdfg.op_counts(),
+            node_count: cdfg.node_count(),
+        }
+    }
+
+    /// Renders the row in the paper's column order:
+    /// `name, critical path, MUX, COMP, +, -, *`.
+    pub fn render_row(&self) -> String {
+        format!(
+            "{:<8} {:>4} {:>5} {:>5} {:>4} {:>4} {:>4}",
+            self.name,
+            self.critical_path,
+            self.counts.mux,
+            self.counts.comp,
+            self.counts.add,
+            self.counts.sub,
+            self.counts.mul
+        )
+    }
+}
+
+impl fmt::Display for CircuitStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: critical path {}, {}", self.name, self.critical_path, self.counts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks;
+
+    #[test]
+    fn render_row_has_paper_columns() {
+        let stats = CircuitStats::of(&benchmarks::dealer());
+        let row = stats.render_row();
+        assert!(row.starts_with("dealer"));
+        let fields: Vec<&str> = row.split_whitespace().collect();
+        assert_eq!(fields.len(), 7);
+        assert_eq!(fields[1], "4");
+        assert!(stats.to_string().contains("critical path 4"));
+    }
+}

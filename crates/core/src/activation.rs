@@ -1,0 +1,260 @@
+//! Activation analysis: which operations execute, with what probability,
+//! under a power-managed schedule.
+//!
+//! The paper's Table II reports "the average number of times that each of
+//! the operations is executed in one computation", assuming "each
+//! multiplexor has equal probability of selecting any of its inputs".  This
+//! module computes exactly that quantity, but against the *final* schedule:
+//! an operation in a shut-down cone is only gated if its controlling
+//! condition is computed in a strictly earlier control step (otherwise the
+//! controller cannot know whether to disable the input registers — the
+//! single-subtractor discussion at the end of Section II-B).
+
+use std::collections::BTreeMap;
+
+use cdfg::{Cdfg, NodeId, OpClass};
+use sched::Schedule;
+
+use crate::report::ManagedMux;
+
+/// Per-multiplexor probability that the select input evaluates to 1.
+///
+/// Unlisted multiplexors use the fair default of 0.5, matching the paper's
+/// equal-probability assumption.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SelectProbabilities {
+    probabilities: BTreeMap<NodeId, f64>,
+}
+
+impl SelectProbabilities {
+    /// Fair probabilities (0.5 everywhere).
+    pub fn fair() -> Self {
+        SelectProbabilities::default()
+    }
+
+    /// Builds probabilities from `(mux, p_select_is_one)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a probability is outside `[0, 1]`.
+    pub fn from_pairs<I: IntoIterator<Item = (NodeId, f64)>>(pairs: I) -> Self {
+        let probabilities: BTreeMap<NodeId, f64> = pairs.into_iter().collect();
+        for (&mux, &p) in &probabilities {
+            assert!((0.0..=1.0).contains(&p), "probability for {mux} must be within [0, 1], got {p}");
+        }
+        SelectProbabilities { probabilities }
+    }
+
+    /// Sets the probability that `mux`'s select evaluates to 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn set(&mut self, mux: NodeId, p: f64) {
+        assert!((0.0..=1.0).contains(&p), "probability must be within [0, 1], got {p}");
+        self.probabilities.insert(mux, p);
+    }
+
+    /// Probability that `mux` selects its 1-input (0.5 by default).
+    pub fn select_one(&self, mux: NodeId) -> f64 {
+        self.probabilities.get(&mux).copied().unwrap_or(0.5)
+    }
+
+    /// Probability that `mux` selects its 0-input.
+    pub fn select_zero(&self, mux: NodeId) -> f64 {
+        1.0 - self.select_one(mux)
+    }
+}
+
+/// The result of activation analysis: an execution probability per
+/// functional node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Activation {
+    probabilities: BTreeMap<NodeId, f64>,
+    gating: BTreeMap<NodeId, Vec<NodeId>>,
+    classes: BTreeMap<NodeId, OpClass>,
+}
+
+impl Activation {
+    /// Computes activation probabilities for every functional node of `cdfg`
+    /// under `schedule`, considering the shut-down opportunities described by
+    /// `managed` and the branch probabilities `probs`.
+    ///
+    /// An operation `n` in the shut-down set of multiplexor `m` contributes a
+    /// factor of `P(branch of n is taken)` — but only if the select of `m` is
+    /// known before `n` executes: either the select comes straight from a
+    /// primary input, or its driver is scheduled in a strictly earlier
+    /// control step than `n`.
+    pub fn compute(
+        cdfg: &Cdfg,
+        schedule: &Schedule,
+        managed: &[ManagedMux],
+        probs: &SelectProbabilities,
+    ) -> Self {
+        let mut probabilities: BTreeMap<NodeId, f64> = BTreeMap::new();
+        let mut gating: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
+        let mut classes: BTreeMap<NodeId, OpClass> = BTreeMap::new();
+        for node in cdfg.functional_nodes() {
+            probabilities.insert(node, 1.0);
+            gating.insert(node, Vec::new());
+            classes.insert(node, cdfg.node(node).expect("live node").op.class());
+        }
+
+        for mm in managed {
+            let condition_step = if mm.select_functional {
+                match schedule.step_of(mm.select_driver) {
+                    Some(step) => step,
+                    // Unscheduled select driver: be conservative, no gating.
+                    None => u32::MAX,
+                }
+            } else {
+                0
+            };
+            let p_one = probs.select_one(mm.mux);
+            for (set, p_exec) in [(&mm.shutdown_true, p_one), (&mm.shutdown_false, 1.0 - p_one)] {
+                for &node in set {
+                    let node_step = match schedule.step_of(node) {
+                        Some(step) => step,
+                        None => continue,
+                    };
+                    if condition_step < node_step {
+                        if let Some(prob) = probabilities.get_mut(&node) {
+                            *prob *= p_exec;
+                        }
+                        gating.entry(node).or_default().push(mm.mux);
+                    }
+                }
+            }
+        }
+
+        Activation { probabilities, gating, classes }
+    }
+
+    /// Execution probability of `node` (1.0 for nodes that always run).
+    pub fn probability(&self, node: NodeId) -> f64 {
+        self.probabilities.get(&node).copied().unwrap_or(1.0)
+    }
+
+    /// Nodes whose execution probability is strictly below 1 — the
+    /// operations the controller actually shuts down for some samples.
+    pub fn gated_nodes(&self) -> Vec<NodeId> {
+        self.probabilities
+            .iter()
+            .filter(|(_, &p)| p < 1.0)
+            .map(|(&n, _)| n)
+            .collect()
+    }
+
+    /// The multiplexors gating `node` (empty for always-on operations).
+    pub fn gating_muxes(&self, node: NodeId) -> &[NodeId] {
+        self.gating.get(&node).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Multiplexors that gate at least one operation — the number the paper
+    /// reports in the "P.Man. Muxs" column of Table II.
+    pub fn effective_muxes(&self) -> Vec<NodeId> {
+        let mut muxes: Vec<NodeId> = self.gating.values().flatten().copied().collect();
+        muxes.sort();
+        muxes.dedup();
+        muxes
+    }
+
+    /// Expected number of executions per operation class in one computation
+    /// (the "Number of Operations" columns of Table II).
+    pub fn expected_counts(&self) -> BTreeMap<OpClass, f64> {
+        let mut totals: BTreeMap<OpClass, f64> = BTreeMap::new();
+        for (node, p) in self.iter() {
+            if let Some(&class) = self.classes.get(&node) {
+                *totals.entry(class).or_insert(0.0) += p;
+            }
+        }
+        totals
+    }
+
+    /// Iterates over `(node, probability)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, f64)> + '_ {
+        self.probabilities.iter().map(|(&n, &p)| (n, p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::{power_manage, PowerManagementOptions};
+    use cdfg::Op;
+
+    fn abs_diff() -> Cdfg {
+        let mut g = Cdfg::new("abs_diff");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let gt = g.add_op(Op::Gt, &[a, b]).unwrap();
+        let amb = g.add_op(Op::Sub, &[a, b]).unwrap();
+        let bma = g.add_op(Op::Sub, &[b, a]).unwrap();
+        let m = g.add_mux(gt, bma, amb).unwrap();
+        g.add_output("abs", m).unwrap();
+        g
+    }
+
+    #[test]
+    fn fair_probabilities_default_to_half() {
+        let probs = SelectProbabilities::fair();
+        assert_eq!(probs.select_one(NodeId::new(3)), 0.5);
+        assert_eq!(probs.select_zero(NodeId::new(3)), 0.5);
+        let mut probs = probs;
+        probs.set(NodeId::new(3), 0.75);
+        assert_eq!(probs.select_one(NodeId::new(3)), 0.75);
+        assert!((probs.select_zero(NodeId::new(3)) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "within [0, 1]")]
+    fn probabilities_outside_unit_interval_panic() {
+        let mut probs = SelectProbabilities::fair();
+        probs.set(NodeId::new(0), 1.5);
+    }
+
+    #[test]
+    fn abs_diff_three_steps_gates_both_subtractions() {
+        let g = abs_diff();
+        let result = power_manage(&g, &PowerManagementOptions::with_latency(3)).unwrap();
+        let activation = result.activation(&SelectProbabilities::fair());
+        let expected = activation.expected_counts();
+        // Each subtraction runs with probability 0.5, so on average exactly
+        // one of the two executes per sample.
+        assert!((expected[&OpClass::Sub] - 1.0).abs() < 1e-9);
+        assert!((expected[&OpClass::Comp] - 1.0).abs() < 1e-9);
+        assert!((expected[&OpClass::Mux] - 1.0).abs() < 1e-9);
+        assert_eq!(activation.gated_nodes().len(), 2);
+        assert_eq!(activation.effective_muxes().len(), 1);
+    }
+
+    #[test]
+    fn two_step_schedule_gates_nothing() {
+        // With only two control steps (Figure 1) the comparison and both
+        // subtractions share step 1, so nothing can be gated.
+        let g = abs_diff();
+        let result = power_manage(&g, &PowerManagementOptions::with_latency(2)).unwrap();
+        let activation = result.activation(&SelectProbabilities::fair());
+        assert!(activation.gated_nodes().is_empty());
+        let expected = activation.expected_counts();
+        assert!((expected[&OpClass::Sub] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skewed_probabilities_shift_expected_counts() {
+        let g = abs_diff();
+        let result = power_manage(&g, &PowerManagementOptions::with_latency(3)).unwrap();
+        let mux = result.cdfg().mux_nodes()[0];
+        let mut probs = SelectProbabilities::fair();
+        probs.set(mux, 0.9); // a > b almost always
+        let activation = result.activation(&probs);
+        let expected = activation.expected_counts();
+        // Still exactly one subtraction on average (0.9 + 0.1), but the
+        // individual probabilities are skewed.
+        assert!((expected[&OpClass::Sub] - 1.0).abs() < 1e-9);
+        let gated = activation.gated_nodes();
+        let probs_seen: Vec<f64> = gated.iter().map(|&n| activation.probability(n)).collect();
+        assert!(probs_seen.iter().any(|p| (*p - 0.9).abs() < 1e-9));
+        assert!(probs_seen.iter().any(|p| (*p - 0.1).abs() < 1e-9));
+    }
+}

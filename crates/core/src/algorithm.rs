@@ -1,0 +1,400 @@
+//! The power-management scheduling algorithm (Figure 3 of the paper).
+//!
+//! ```text
+//! 1:  Generate CDFG
+//! 2:  For each multiplexor mux {
+//! 3:      Annotate nodes in fanin of the 0, 1 and control inputs of mux
+//! 4:      Compute new ASAP of each node in the fanin of the 0 and 1 inputs
+//! 5:      Compute new ALAP of each node in the fanin of the control input
+//! 6:      If for any node ASAP > ALAP
+//! 7:          then power management not possible for mux
+//! 8:          else assign new ASAP and ALAP values to nodes
+//! 9:  }
+//! 10: Create control edges between last node in the control fanin and top
+//!     nodes in 0 and 1 fanin of muxes for which power management is possible
+//! 11: Execute Hyper scheduling
+//! 12: Generate final Datapath and Controller circuits
+//! ```
+//!
+//! Steps 4–8 are implemented by tentatively inserting the control edges into
+//! a working copy of the CDFG and recomputing ASAP/ALAP: the new edges force
+//! exactly the "data cone after control cone" ordering the paper describes,
+//! and the feasibility test "ASAP > ALAP for any node" becomes
+//! [`sched::Timing::is_feasible`].  Step 12 (datapath and controller
+//! generation) lives in the `binding` and `rtl` crates.
+
+use cdfg::Cdfg;
+use sched::hyper::{self, HyperOptions};
+use sched::{ResourceConstraint, ScheduleError, Timing};
+
+use crate::cones::MuxCones;
+use crate::error::PowerManageError;
+use crate::mux_order::MuxOrder;
+use crate::report::{ManagedMux, PowerManagementResult};
+
+/// User-facing constraints for a power-management scheduling run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PowerManagementOptions {
+    /// Number of control steps one computation may take (the throughput
+    /// constraint; column 2 of Table II).
+    pub latency: u32,
+    /// Execution-unit constraint handed to the final scheduling step.
+    pub resources: ResourceConstraint,
+    /// Order in which multiplexors are examined (Section IV-A).
+    pub mux_order: MuxOrder,
+}
+
+impl PowerManagementOptions {
+    /// Latency-only constraints: the scheduler may allocate as many
+    /// execution units as it needs (it still minimises them).
+    pub fn with_latency(latency: u32) -> Self {
+        PowerManagementOptions {
+            latency,
+            resources: ResourceConstraint::Unlimited,
+            mux_order: MuxOrder::OutputsFirst,
+        }
+    }
+
+    /// Latency plus an explicit execution-unit allocation.
+    pub fn with_resources(latency: u32, resources: ResourceConstraint) -> Self {
+        PowerManagementOptions { latency, resources, mux_order: MuxOrder::OutputsFirst }
+    }
+
+    /// Replaces the multiplexor processing order.
+    pub fn mux_order(mut self, order: MuxOrder) -> Self {
+        self.mux_order = order;
+        self
+    }
+}
+
+/// Runs the power-management scheduling algorithm on `cdfg`.
+///
+/// The returned [`PowerManagementResult`] contains the constrained CDFG
+/// (with control edges), the power-managed schedule, the traditional
+/// baseline schedule for the same constraints, and the per-multiplexor
+/// shut-down information needed by the controller generator and by the
+/// power/area reports.
+///
+/// # Errors
+///
+/// * [`PowerManageError::InvalidCdfg`] if the input graph fails validation,
+/// * [`PowerManageError::Scheduling`] if even the baseline schedule cannot
+///   meet the latency / resource constraints.
+pub fn power_manage(
+    cdfg: &Cdfg,
+    options: &PowerManagementOptions,
+) -> Result<PowerManagementResult, PowerManageError> {
+    cdfg.validate()?;
+
+    // Baseline: what a traditional scheduler does with the same constraints.
+    let baseline_schedule = hyper::schedule(
+        cdfg,
+        &HyperOptions { latency: options.latency, resources: options.resources.clone() },
+    )?;
+
+    let mut working = cdfg.clone();
+    let order = options.mux_order.order(cdfg);
+    let mut managed: Vec<ManagedMux> = Vec::new();
+
+    // Steps 2-10: examine each multiplexor, tentatively adding its control
+    // edges and keeping them only when every node still satisfies
+    // ASAP <= ALAP for the requested latency.
+    for mux in order {
+        let cones = MuxCones::analyze(&working, mux);
+        if !cones.has_shutdown_candidates() {
+            continue;
+        }
+
+        let mut entry = ManagedMux {
+            mux,
+            select_driver: cones.select_driver,
+            select_functional: cones.select_driver_is_functional,
+            shutdown_false: cones.shutdown_false.clone(),
+            shutdown_true: cones.shutdown_true.clone(),
+            accepted: false,
+            control_edges: Vec::new(),
+        };
+
+        if !cones.select_driver_is_functional {
+            // The branch decision comes straight from a primary input or a
+            // constant: it is available before step 1, so no ordering
+            // constraint is needed and the multiplexor is trivially
+            // manageable.
+            entry.accepted = true;
+            managed.push(entry);
+            continue;
+        }
+
+        // Step 10 (tentatively): control edges from the last control-cone
+        // node to the top nodes of each shut-down cone.
+        let mut added = Vec::new();
+        let mut ok = true;
+        for set in [&cones.shutdown_false, &cones.shutdown_true] {
+            for top in cones.top_nodes(&working, set) {
+                match working.add_control_edge(cones.select_driver, top) {
+                    Ok(edge) => added.push(edge),
+                    Err(_) => {
+                        // A cycle means the select driver already depends on
+                        // this node; the multiplexor cannot be managed.
+                        ok = false;
+                    }
+                }
+            }
+        }
+
+        // Steps 4-8: the feasibility test.
+        if ok {
+            let timing = Timing::compute(&working, options.latency);
+            ok = timing.is_feasible();
+        }
+
+        if ok {
+            entry.accepted = true;
+            entry.control_edges = added;
+        } else {
+            for edge in added {
+                working.remove_control_edge(edge);
+            }
+        }
+        managed.push(entry);
+    }
+
+    // Step 11: HYPER-style scheduling of the constrained graph.  Under an
+    // explicit resource limit the extra precedence edges may push the
+    // schedule past the latency even though the pure timing test passed; in
+    // that case relax the least-recently accepted multiplexors until the
+    // constraint is met again (the paper's "algorithm chooses a schedule only
+    // if the required throughput and hardware constraints are met").
+    let schedule = loop {
+        match hyper::schedule(
+            &working,
+            &HyperOptions { latency: options.latency, resources: options.resources.clone() },
+        ) {
+            Ok(s) => break s,
+            Err(err) => {
+                let relaxable = managed
+                    .iter()
+                    .rposition(|m| m.accepted && !m.control_edges.is_empty());
+                match relaxable {
+                    Some(idx) if is_resource_pressure(&err) => {
+                        for edge in std::mem::take(&mut managed[idx].control_edges) {
+                            working.remove_control_edge(edge);
+                        }
+                        // The multiplexor may still be partially effective
+                        // (operations that happen to land after the condition
+                        // are gated), so it stays in the list but is no
+                        // longer marked as accepted.
+                        managed[idx].accepted = false;
+                    }
+                    _ => return Err(err.into()),
+                }
+            }
+        }
+    };
+
+    Ok(PowerManagementResult {
+        cdfg: working,
+        schedule,
+        baseline_schedule,
+        managed,
+        latency: options.latency,
+    })
+}
+
+/// Errors that can be cured by removing control edges (as opposed to the
+/// latency simply being below the critical path of the *original* design).
+fn is_resource_pressure(err: &ScheduleError) -> bool {
+    matches!(
+        err,
+        ScheduleError::LatencyExceeded { .. }
+            | ScheduleError::InsufficientResources { .. }
+            | ScheduleError::LatencyTooSmall { .. }
+    )
+}
+
+/// Runs [`power_manage`] with several multiplexor orders (Section IV-A) and
+/// returns the result with the highest estimated datapath power reduction.
+///
+/// The candidate orders are the outputs-first default, the savings-driven
+/// greedy order and the inputs-first order; for designs with at most
+/// `exhaustive_limit` multiplexors every permutation is tried as well.
+///
+/// # Errors
+///
+/// Same conditions as [`power_manage`].
+pub fn power_manage_reordered(
+    cdfg: &Cdfg,
+    options: &PowerManagementOptions,
+    exhaustive_limit: usize,
+) -> Result<PowerManagementResult, PowerManageError> {
+    let mut candidates: Vec<MuxOrder> =
+        vec![MuxOrder::OutputsFirst, MuxOrder::BySavings, MuxOrder::InputsFirst];
+
+    let muxes = cdfg.mux_nodes();
+    if muxes.len() <= exhaustive_limit && muxes.len() > 1 {
+        candidates.extend(permutations(&muxes).into_iter().map(MuxOrder::Explicit));
+    }
+
+    let mut best: Option<PowerManagementResult> = None;
+    for order in candidates {
+        let run = power_manage(cdfg, &options.clone().mux_order(order))?;
+        let better = match &best {
+            None => true,
+            Some(current) => run.savings().reduction_percent > current.savings().reduction_percent + 1e-9,
+        };
+        if better {
+            best = Some(run);
+        }
+    }
+    Ok(best.expect("at least one candidate order was evaluated"))
+}
+
+fn permutations<T: Clone>(items: &[T]) -> Vec<Vec<T>> {
+    if items.len() <= 1 {
+        return vec![items.to_vec()];
+    }
+    let mut out = Vec::new();
+    for i in 0..items.len() {
+        let mut rest = items.to_vec();
+        let head = rest.remove(i);
+        for mut tail in permutations(&rest) {
+            let mut perm = vec![head.clone()];
+            perm.append(&mut tail);
+            out.push(perm);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdfg::{NodeId, Op, OpClass};
+    use sched::ResourceConstraint;
+
+    fn abs_diff() -> (Cdfg, NodeId, NodeId, NodeId, NodeId) {
+        let mut g = Cdfg::new("abs_diff");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let gt = g.add_op(Op::Gt, &[a, b]).unwrap();
+        let amb = g.add_op(Op::Sub, &[a, b]).unwrap();
+        let bma = g.add_op(Op::Sub, &[b, a]).unwrap();
+        let m = g.add_mux(gt, bma, amb).unwrap();
+        g.add_output("abs", m).unwrap();
+        (g, gt, amb, bma, m)
+    }
+
+    #[test]
+    fn figure_2b_comparison_first_with_three_steps() {
+        let (g, gt, amb, bma, m) = abs_diff();
+        let result = power_manage(&g, &PowerManagementOptions::with_latency(3)).unwrap();
+        let s = result.schedule();
+        s.validate(result.cdfg()).unwrap();
+        assert_eq!(s.step_of(gt), Some(1), "controlling comparison is scheduled first");
+        assert_eq!(s.step_of(amb), Some(2));
+        assert_eq!(s.step_of(bma), Some(2));
+        assert_eq!(s.step_of(m), Some(3));
+        assert_eq!(result.accepted_muxes().len(), 1);
+        assert!(result.control_edge_count() >= 2);
+    }
+
+    #[test]
+    fn figure_1_two_steps_no_power_management() {
+        // "If only two control steps are allowed, there is no flexibility...
+        // our scheduling algorithm will produce the same result as the
+        // traditional method: no power management is possible."
+        let (g, ..) = abs_diff();
+        let result = power_manage(&g, &PowerManagementOptions::with_latency(2)).unwrap();
+        assert_eq!(result.accepted_muxes().len(), 0);
+        assert_eq!(result.managed_mux_count(), 0);
+        assert_eq!(result.schedule().num_steps(), 2);
+        assert!((result.savings().reduction_percent - 0.0).abs() < 1e-9);
+        // The baseline and managed schedules need the same resources.
+        assert_eq!(result.resource_usage(), result.baseline_resource_usage());
+    }
+
+    #[test]
+    fn single_subtractor_partial_management() {
+        // End of Section II-B: with one subtractor the subtraction scheduled
+        // after the comparison can still be disabled, even though both
+        // cannot be moved behind the condition simultaneously.
+        let (g, ..) = abs_diff();
+        let constraint = ResourceConstraint::limited([
+            (OpClass::Sub, 1),
+            (OpClass::Comp, 1),
+            (OpClass::Mux, 1),
+        ]);
+        let options = PowerManagementOptions::with_resources(3, constraint);
+        let result = power_manage(&g, &options).unwrap();
+        result.schedule().validate(result.cdfg()).unwrap();
+        let savings = result.savings();
+        // One subtraction always runs, the other runs half the time:
+        // expected subtractions = 1.5 (vs 2.0 unmanaged).
+        assert!((savings.expected(OpClass::Sub) - 1.5).abs() < 1e-9);
+        assert!(savings.reduction_percent > 0.0);
+        assert_eq!(result.resource_usage().count(OpClass::Sub), 1);
+    }
+
+    #[test]
+    fn latency_below_critical_path_errors() {
+        let (g, ..) = abs_diff();
+        let err = power_manage(&g, &PowerManagementOptions::with_latency(1)).unwrap_err();
+        assert!(matches!(err, PowerManageError::Scheduling(_)));
+    }
+
+    #[test]
+    fn invalid_cdfg_is_rejected() {
+        let g = Cdfg::new("empty");
+        let err = power_manage(&g, &PowerManagementOptions::with_latency(3)).unwrap_err();
+        assert!(matches!(err, PowerManageError::InvalidCdfg(_)));
+    }
+
+    #[test]
+    fn design_without_muxes_still_schedules() {
+        let mut g = Cdfg::new("sum");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let s = g.add_op(Op::Add, &[a, b]).unwrap();
+        g.add_output("s", s).unwrap();
+        let result = power_manage(&g, &PowerManagementOptions::with_latency(2)).unwrap();
+        assert_eq!(result.managed_muxes().len(), 0);
+        assert_eq!(result.savings().reduction_percent, 0.0);
+    }
+
+    #[test]
+    fn more_slack_never_hurts_savings() {
+        let (g, ..) = abs_diff();
+        let three = power_manage(&g, &PowerManagementOptions::with_latency(3)).unwrap();
+        let four = power_manage(&g, &PowerManagementOptions::with_latency(4)).unwrap();
+        assert!(four.savings().reduction_percent >= three.savings().reduction_percent - 1e-9);
+    }
+
+    #[test]
+    fn reordered_search_is_at_least_as_good_as_default() {
+        // Nested conditionals where processing order matters.
+        let mut g = Cdfg::new("nested");
+        let x = g.add_input("x");
+        let y = g.add_input("y");
+        let c1 = g.add_op(Op::Gt, &[x, y]).unwrap();
+        let c2 = g.add_op(Op::Lt, &[x, y]).unwrap();
+        let prod = g.add_op(Op::Mul, &[x, y]).unwrap();
+        let sum = g.add_op(Op::Add, &[x, y]).unwrap();
+        let inner = g.add_mux(c2, sum, prod).unwrap();
+        let diff = g.add_op(Op::Sub, &[x, y]).unwrap();
+        let outer = g.add_mux(c1, diff, inner).unwrap();
+        g.add_output("o", outer).unwrap();
+
+        let options = PowerManagementOptions::with_latency(4);
+        let default = power_manage(&g, &options).unwrap();
+        let best = power_manage_reordered(&g, &options, 4).unwrap();
+        assert!(best.savings().reduction_percent >= default.savings().reduction_percent - 1e-9);
+        best.schedule().validate(best.cdfg()).unwrap();
+    }
+
+    #[test]
+    fn permutations_cover_all_orders() {
+        let perms = permutations(&[1, 2, 3]);
+        assert_eq!(perms.len(), 6);
+        assert!(perms.contains(&vec![3, 1, 2]));
+    }
+}

@@ -1,0 +1,337 @@
+//! Multiplexor fanin-cone analysis (steps 2–3 of the paper's algorithm).
+//!
+//! For every multiplexor we need to know three things:
+//!
+//! 1. which operations feed its *control* (select) input — these must be
+//!    scheduled early so the decision is available,
+//! 2. which operations feed only its 0-input — these can be shut down
+//!    whenever the select evaluates to 1,
+//! 3. which operations feed only its 1-input — these can be shut down
+//!    whenever the select evaluates to 0.
+//!
+//! The paper excludes from shut-down any operation that is in both data
+//! cones, or whose result "fans out to other nodes besides the current
+//! multiplexor".  Both exclusions are captured here by a single, stronger
+//! criterion: an operation is shut-down eligible for a branch only if every
+//! path from it to a primary output passes through that branch's data input
+//! of the multiplexor.  If any other path exists the value is needed
+//! regardless of the branch outcome.
+
+use std::collections::BTreeSet;
+
+use cdfg::{cone, Cdfg, NodeId, MUX_FALSE_PORT, MUX_SELECT_PORT, MUX_TRUE_PORT};
+
+/// The cone structure of one multiplexor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MuxCones {
+    /// The multiplexor node.
+    pub mux: NodeId,
+    /// Driver of the select (control) input.  This is the "last node in the
+    /// control input fanin": once it has executed, the branch decision is
+    /// known.
+    pub select_driver: NodeId,
+    /// `true` when the select driver is a functional operation (a comparison
+    /// computed at run time); `false` when the select comes straight from a
+    /// primary input or constant, in which case the decision is available
+    /// from step 1 and no control edge is needed.
+    pub select_driver_is_functional: bool,
+    /// Functional operations in the transitive fanin of the select input
+    /// (including the driver itself when functional).
+    pub select_cone: BTreeSet<NodeId>,
+    /// Functional operations in the transitive fanin of the 0-input
+    /// (including its driver).
+    pub false_cone: BTreeSet<NodeId>,
+    /// Functional operations in the transitive fanin of the 1-input
+    /// (including its driver).
+    pub true_cone: BTreeSet<NodeId>,
+    /// Subset of [`MuxCones::false_cone`] that may be shut down when the
+    /// select is 1 (their only use is the discarded 0-branch value).
+    pub shutdown_false: BTreeSet<NodeId>,
+    /// Subset of [`MuxCones::true_cone`] that may be shut down when the
+    /// select is 0.
+    pub shutdown_true: BTreeSet<NodeId>,
+}
+
+impl MuxCones {
+    /// Analyses one multiplexor of `cdfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mux` is not a multiplexor node of a structurally valid
+    /// CDFG (every mux input driven).
+    pub fn analyze(cdfg: &Cdfg, mux: NodeId) -> Self {
+        assert!(
+            cdfg.node(mux).map(|d| d.op.is_mux()).unwrap_or(false),
+            "MuxCones::analyze called on a non-mux node"
+        );
+        let select_driver = cdfg.operand(mux, MUX_SELECT_PORT).expect("mux select driven");
+        let false_driver = cdfg.operand(mux, MUX_FALSE_PORT).expect("mux 0-input driven");
+        let true_driver = cdfg.operand(mux, MUX_TRUE_PORT).expect("mux 1-input driven");
+
+        let select_driver_is_functional = cdfg
+            .node(select_driver)
+            .map(|d| d.op.is_functional())
+            .unwrap_or(false);
+
+        let select_cone = cone::functional_only(cdfg, &cone::port_fanin(cdfg, mux, MUX_SELECT_PORT));
+        let false_cone = cone::functional_only(cdfg, &cone::port_fanin(cdfg, mux, MUX_FALSE_PORT));
+        let true_cone = cone::functional_only(cdfg, &cone::port_fanin(cdfg, mux, MUX_TRUE_PORT));
+
+        let shutdown_false = shutdown_set(cdfg, mux, false_driver, MUX_FALSE_PORT, &false_cone);
+        let shutdown_true = shutdown_set(cdfg, mux, true_driver, MUX_TRUE_PORT, &true_cone);
+
+        MuxCones {
+            mux,
+            select_driver,
+            select_driver_is_functional,
+            select_cone,
+            false_cone,
+            true_cone,
+            shutdown_false,
+            shutdown_true,
+        }
+    }
+
+    /// Analyses every multiplexor of the design.
+    pub fn analyze_all(cdfg: &Cdfg) -> Vec<MuxCones> {
+        cdfg.mux_nodes().into_iter().map(|m| MuxCones::analyze(cdfg, m)).collect()
+    }
+
+    /// Returns `true` when at least one operation can be shut down through
+    /// this multiplexor, i.e. power management is worth attempting.
+    pub fn has_shutdown_candidates(&self) -> bool {
+        !self.shutdown_false.is_empty() || !self.shutdown_true.is_empty()
+    }
+
+    /// Nodes of a shut-down set with no predecessor inside the same set —
+    /// the "top nodes in the 0 and 1 fanin" that receive the new control
+    /// edges in step 10 of the paper's algorithm.
+    pub fn top_nodes(&self, cdfg: &Cdfg, set: &BTreeSet<NodeId>) -> Vec<NodeId> {
+        set.iter()
+            .copied()
+            .filter(|&n| {
+                cdfg.predecessors(n)
+                    .into_iter()
+                    .all(|p| !set.contains(&p))
+            })
+            .collect()
+    }
+
+    /// Number of operations (across both branches) that can be shut down.
+    pub fn shutdown_candidate_count(&self) -> usize {
+        self.shutdown_false.len() + self.shutdown_true.len()
+    }
+}
+
+/// Computes the shut-down-eligible subset of one branch cone.
+///
+/// A node is eligible iff it cannot reach any primary output once the edge
+/// `branch_driver -> mux(port)` is ignored.  This simultaneously rejects
+/// nodes shared between the 0 and 1 cones and nodes whose value fans out past
+/// the multiplexor.
+fn shutdown_set(
+    cdfg: &Cdfg,
+    mux: NodeId,
+    _branch_driver: NodeId,
+    port: u16,
+    branch_cone: &BTreeSet<NodeId>,
+) -> BTreeSet<NodeId> {
+    // Nodes that can reach an observation point without using the mux input
+    // edge for `port`.  We do a reverse reachability from all observation
+    // points, refusing to traverse that single edge.  Observation points are
+    // the primary outputs plus any dead-end operation (an operation with no
+    // path to an output still executes unconditionally, so everything it
+    // reads must be available — dead code is never a licence to shut down
+    // its inputs).
+    let mut needed: BTreeSet<NodeId> = BTreeSet::new();
+    let mut stack: Vec<NodeId> = cdfg.outputs().to_vec();
+    for &o in cdfg.outputs() {
+        needed.insert(o);
+    }
+    for node in cdfg.functional_nodes() {
+        if cone::distance_to_output(cdfg, node).is_none() && needed.insert(node) {
+            stack.push(node);
+        }
+    }
+    while let Some(n) = stack.pop() {
+        for pred in cdfg.predecessors(n) {
+            // Skip the branch edge under consideration: value flowing into
+            // `mux` through `port` does not make its producer "needed".
+            if n == mux && cdfg.operand(mux, port) == Some(pred) {
+                // The predecessor may still feed the mux through another
+                // port (e.g. it is also the select driver); check those.
+                let feeds_other_port = (0..3u16)
+                    .filter(|&p| p != port)
+                    .any(|p| cdfg.operand(mux, p) == Some(pred));
+                if !feeds_other_port {
+                    continue;
+                }
+            }
+            if needed.insert(pred) {
+                stack.push(pred);
+            }
+        }
+    }
+    branch_cone
+        .iter()
+        .copied()
+        .filter(|n| !needed.contains(n))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdfg::Op;
+
+    fn abs_diff() -> (Cdfg, NodeId, NodeId, NodeId, NodeId) {
+        let mut g = Cdfg::new("abs_diff");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let gt = g.add_op(Op::Gt, &[a, b]).unwrap();
+        let amb = g.add_op(Op::Sub, &[a, b]).unwrap();
+        let bma = g.add_op(Op::Sub, &[b, a]).unwrap();
+        let m = g.add_mux(gt, bma, amb).unwrap();
+        g.add_output("abs", m).unwrap();
+        (g, gt, amb, bma, m)
+    }
+
+    #[test]
+    fn abs_diff_cones() {
+        let (g, gt, amb, bma, m) = abs_diff();
+        let cones = MuxCones::analyze(&g, m);
+        assert_eq!(cones.select_driver, gt);
+        assert!(cones.select_driver_is_functional);
+        assert_eq!(cones.select_cone, [gt].into_iter().collect());
+        assert_eq!(cones.false_cone, [bma].into_iter().collect());
+        assert_eq!(cones.true_cone, [amb].into_iter().collect());
+        // Both subtractions are exclusively used by their own branch, so both
+        // can be shut down.
+        assert_eq!(cones.shutdown_false, [bma].into_iter().collect());
+        assert_eq!(cones.shutdown_true, [amb].into_iter().collect());
+        assert!(cones.has_shutdown_candidates());
+        assert_eq!(cones.shutdown_candidate_count(), 2);
+        assert_eq!(cones.top_nodes(&g, &cones.shutdown_false), vec![bma]);
+    }
+
+    #[test]
+    fn shared_operation_is_not_shut_down() {
+        // out = (a > b) ? (a + b) : ((a + b) - b) — the addition feeds both
+        // branches so it must always execute.
+        let mut g = Cdfg::new("shared");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let cmp = g.add_op(Op::Gt, &[a, b]).unwrap();
+        let sum = g.add_op(Op::Add, &[a, b]).unwrap();
+        let diff = g.add_op(Op::Sub, &[sum, b]).unwrap();
+        let m = g.add_mux(cmp, diff, sum).unwrap();
+        g.add_output("o", m).unwrap();
+
+        let cones = MuxCones::analyze(&g, m);
+        assert!(cones.false_cone.contains(&sum));
+        assert!(cones.true_cone.contains(&sum));
+        assert!(!cones.shutdown_false.contains(&sum), "shared op stays on");
+        assert!(!cones.shutdown_true.contains(&sum), "shared op stays on");
+        // The subtraction is exclusive to the false branch.
+        assert_eq!(cones.shutdown_false, [diff].into_iter().collect());
+        assert!(cones.shutdown_true.is_empty());
+    }
+
+    #[test]
+    fn fanout_past_the_mux_is_not_shut_down() {
+        // The false-branch value also drives a second primary output, so it
+        // is needed no matter what the select says.
+        let mut g = Cdfg::new("fanout");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let cmp = g.add_op(Op::Gt, &[a, b]).unwrap();
+        let diff = g.add_op(Op::Sub, &[a, b]).unwrap();
+        let sum = g.add_op(Op::Add, &[a, b]).unwrap();
+        let m = g.add_mux(cmp, diff, sum).unwrap();
+        g.add_output("o", m).unwrap();
+        g.add_output("also_diff", diff).unwrap();
+
+        let cones = MuxCones::analyze(&g, m);
+        assert!(cones.false_cone.contains(&diff));
+        assert!(!cones.shutdown_false.contains(&diff), "value escapes through another output");
+        assert_eq!(cones.shutdown_true, [sum].into_iter().collect());
+    }
+
+    #[test]
+    fn select_from_primary_input_is_not_functional() {
+        let mut g = Cdfg::new("ext_sel");
+        let sel = g.add_input("sel");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let sum = g.add_op(Op::Add, &[a, b]).unwrap();
+        let diff = g.add_op(Op::Sub, &[a, b]).unwrap();
+        let m = g.add_mux(sel, sum, diff).unwrap();
+        g.add_output("o", m).unwrap();
+
+        let cones = MuxCones::analyze(&g, m);
+        assert_eq!(cones.select_driver, sel);
+        assert!(!cones.select_driver_is_functional);
+        assert!(cones.select_cone.is_empty());
+        assert_eq!(cones.shutdown_false, [sum].into_iter().collect());
+        assert_eq!(cones.shutdown_true, [diff].into_iter().collect());
+    }
+
+    #[test]
+    fn nested_muxes_report_nested_cones() {
+        // out = c1 ? (c2 ? x*y : x+y) : x-y
+        let mut g = Cdfg::new("nested");
+        let x = g.add_input("x");
+        let y = g.add_input("y");
+        let c1 = g.add_op(Op::Gt, &[x, y]).unwrap();
+        let c2 = g.add_op(Op::Lt, &[x, y]).unwrap();
+        let prod = g.add_op(Op::Mul, &[x, y]).unwrap();
+        let sum = g.add_op(Op::Add, &[x, y]).unwrap();
+        let inner = g.add_mux(c2, sum, prod).unwrap();
+        let diff = g.add_op(Op::Sub, &[x, y]).unwrap();
+        let outer = g.add_mux(c1, diff, inner).unwrap();
+        g.add_output("o", outer).unwrap();
+
+        let all = MuxCones::analyze_all(&g);
+        assert_eq!(all.len(), 2);
+        let outer_cones = all.iter().find(|c| c.mux == outer).unwrap();
+        let inner_cones = all.iter().find(|c| c.mux == inner).unwrap();
+        // The whole inner computation (mux, comparison, mul, add) is
+        // exclusive to the outer true branch.
+        assert!(outer_cones.shutdown_true.contains(&inner));
+        assert!(outer_cones.shutdown_true.contains(&c2));
+        assert!(outer_cones.shutdown_true.contains(&prod));
+        assert!(outer_cones.shutdown_true.contains(&sum));
+        assert_eq!(outer_cones.shutdown_false, [diff].into_iter().collect());
+        // The inner mux shuts down exactly one of mul/add per branch.
+        assert_eq!(inner_cones.shutdown_false, [sum].into_iter().collect());
+        assert_eq!(inner_cones.shutdown_true, [prod].into_iter().collect());
+    }
+
+    #[test]
+    fn values_read_by_dead_code_are_not_shut_down() {
+        // `diff` feeds the mux's 1-input *and* a comparison whose result is
+        // never used (dead code).  The dead comparison still executes, so
+        // `diff` must not be shut down even though no primary output depends
+        // on it outside the mux branch.
+        let mut g = Cdfg::new("dead");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let cmp = g.add_op(Op::Gt, &[a, b]).unwrap();
+        let diff = g.add_op(Op::Sub, &[a, b]).unwrap();
+        let sum = g.add_op(Op::Add, &[a, b]).unwrap();
+        let _dead = g.add_op(Op::Lt, &[diff, a]).unwrap();
+        let m = g.add_mux(cmp, sum, diff).unwrap();
+        g.add_output("o", m).unwrap();
+
+        let cones = MuxCones::analyze(&g, m);
+        assert!(!cones.shutdown_true.contains(&diff), "dead reader keeps diff alive");
+        assert_eq!(cones.shutdown_false, [sum].into_iter().collect());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-mux")]
+    fn analyze_rejects_non_mux_nodes() {
+        let (g, gt, ..) = abs_diff();
+        let _ = MuxCones::analyze(&g, gt);
+    }
+}

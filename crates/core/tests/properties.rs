@@ -1,0 +1,142 @@
+//! Property-based tests for the power-management scheduling algorithm.
+
+use cdfg::{Cdfg, NodeId, Op};
+use pmsched::{power_manage, PowerManagementOptions, SelectProbabilities};
+use proptest::prelude::*;
+use sched::ResourceConstraint;
+
+/// Random conditional-heavy CDFGs: a pool of values extended by arithmetic
+/// operations and by conditionals `cond ? x : y` with a freshly computed
+/// comparison as the select.
+#[derive(Debug, Clone)]
+struct Recipe {
+    num_inputs: usize,
+    steps: Vec<(u8, usize, usize, usize)>,
+    extra_latency: u32,
+}
+
+fn recipe_strategy() -> impl Strategy<Value = Recipe> {
+    (
+        2usize..5,
+        prop::collection::vec((0u8..8, 0usize..64, 0usize..64, 0usize..64), 1..24),
+        0u32..5,
+    )
+        .prop_map(|(num_inputs, steps, extra_latency)| Recipe { num_inputs, steps, extra_latency })
+}
+
+fn build(recipe: &Recipe) -> Cdfg {
+    let mut g = Cdfg::new("random");
+    let mut values: Vec<NodeId> = Vec::new();
+    for i in 0..recipe.num_inputs {
+        values.push(g.add_input(format!("in{i}")));
+    }
+    for &(opcode, a, b, c) in &recipe.steps {
+        let pick = |idx: usize| values[idx % values.len()];
+        let node = match opcode {
+            0 => g.add_op(Op::Add, &[pick(a), pick(b)]).unwrap(),
+            1 => g.add_op(Op::Sub, &[pick(a), pick(b)]).unwrap(),
+            2 => g.add_op(Op::Mul, &[pick(a), pick(b)]).unwrap(),
+            3 => g.add_op(Op::Gt, &[pick(a), pick(b)]).unwrap(),
+            // Conditionals dominate so that power management has something
+            // to work with.
+            _ => {
+                let sel = g.add_op(Op::Gt, &[pick(a), pick(b)]).unwrap();
+                g.add_mux(sel, pick(b), pick(c)).unwrap()
+            }
+        };
+        values.push(node);
+    }
+    let last = *values.last().expect("nonempty");
+    g.add_output("out", last).unwrap();
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Power management never produces an invalid schedule and never exceeds
+    /// the requested latency.
+    #[test]
+    fn managed_schedules_are_valid(recipe in recipe_strategy()) {
+        let g = build(&recipe);
+        let latency = g.critical_path_length().max(1) + recipe.extra_latency;
+        let result = power_manage(&g, &PowerManagementOptions::with_latency(latency)).unwrap();
+        prop_assert!(result.schedule().validate(result.cdfg()).is_ok());
+        prop_assert!(result.schedule().last_used_step() <= latency);
+        prop_assert!(result.baseline_schedule().last_used_step() <= latency);
+    }
+
+    /// Savings are always within [0, 100] percent: gating can only remove
+    /// work, never add it.
+    #[test]
+    fn savings_are_bounded(recipe in recipe_strategy()) {
+        let g = build(&recipe);
+        let latency = g.critical_path_length().max(1) + recipe.extra_latency;
+        let result = power_manage(&g, &PowerManagementOptions::with_latency(latency)).unwrap();
+        let savings = result.savings();
+        prop_assert!(savings.reduction_percent >= -1e-9);
+        prop_assert!(savings.reduction_percent <= 100.0 + 1e-9);
+        prop_assert!(savings.managed_weighted <= savings.baseline_weighted + 1e-9);
+    }
+
+    /// Every gated operation really is scheduled after its controlling
+    /// condition, so the controller can make the decision in time.
+    #[test]
+    fn gated_ops_follow_their_condition(recipe in recipe_strategy()) {
+        let g = build(&recipe);
+        let latency = g.critical_path_length().max(1) + recipe.extra_latency;
+        let result = power_manage(&g, &PowerManagementOptions::with_latency(latency)).unwrap();
+        let activation = result.activation(&SelectProbabilities::fair());
+        for node in activation.gated_nodes() {
+            let node_step = result.schedule().step_of(node).unwrap();
+            for &mux in activation.gating_muxes(node) {
+                let mm = result
+                    .managed_muxes()
+                    .iter()
+                    .find(|m| m.mux == mux)
+                    .expect("gating mux is recorded");
+                if mm.select_functional {
+                    let cond_step = result.schedule().step_of(mm.select_driver).unwrap();
+                    prop_assert!(cond_step < node_step);
+                }
+            }
+        }
+    }
+
+    /// Expected executions never exceed the static operation counts, and
+    /// equal them when nothing is gated.
+    #[test]
+    fn expected_counts_bounded_by_static_counts(recipe in recipe_strategy()) {
+        let g = build(&recipe);
+        let latency = g.critical_path_length().max(1) + recipe.extra_latency;
+        let result = power_manage(&g, &PowerManagementOptions::with_latency(latency)).unwrap();
+        let savings = result.savings();
+        for (class, count) in result.op_counts().iter() {
+            prop_assert!(savings.expected(class) <= count as f64 + 1e-9);
+        }
+        if result.managed_mux_count() == 0 {
+            prop_assert!((savings.reduction_percent).abs() < 1e-9);
+        }
+    }
+
+    /// Restricting the schedule to the baseline's own execution-unit
+    /// allocation still succeeds (possibly with fewer managed muxes) — the
+    /// algorithm honours hardware constraints rather than failing.
+    #[test]
+    fn resource_constrained_runs_succeed(recipe in recipe_strategy()) {
+        let g = build(&recipe);
+        let latency = g.critical_path_length().max(1) + recipe.extra_latency;
+        let unconstrained = power_manage(&g, &PowerManagementOptions::with_latency(latency)).unwrap();
+        let baseline_units = unconstrained.baseline_resource_usage();
+        let options = PowerManagementOptions::with_resources(
+            latency,
+            ResourceConstraint::Limited(baseline_units.clone()),
+        );
+        let constrained = power_manage(&g, &options).unwrap();
+        prop_assert!(constrained
+            .schedule()
+            .validate_with(constrained.cdfg(), &ResourceConstraint::Limited(baseline_units))
+            .is_ok());
+        prop_assert!(constrained.savings().reduction_percent >= -1e-9);
+    }
+}

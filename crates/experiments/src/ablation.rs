@@ -1,0 +1,208 @@
+//! Ablations for the design choices of Section IV: multiplexor reordering
+//! (IV-A) and pipelining (IV-B), plus the choice of final scheduler.
+
+use cdfg::Cdfg;
+use circuits::{all_benchmarks, dealer, gcd, vender};
+use pmsched::algorithm::power_manage_reordered;
+use pmsched::pipeline::power_manage_pipelined;
+use pmsched::{power_manage, MuxOrder, PowerManageError, PowerManagementOptions};
+
+/// The effect of one multiplexor processing order on one circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReorderRow {
+    /// Circuit name.
+    pub circuit: String,
+    /// Control steps.
+    pub control_steps: u32,
+    /// Ordering strategy label.
+    pub order: String,
+    /// Number of power-managed multiplexors.
+    pub pm_muxes: usize,
+    /// Datapath power reduction in percent.
+    pub power_reduction: f64,
+}
+
+/// Runs the mux-ordering ablation (Section IV-A) over the non-trivial
+/// benchmarks: outputs-first (the paper's default), inputs-first,
+/// savings-driven, and the best order found by the reordering search.
+///
+/// # Errors
+///
+/// Propagates scheduling failures.
+pub fn reorder_ablation() -> Result<Vec<ReorderRow>, PowerManageError> {
+    let mut rows = Vec::new();
+    let cases: Vec<(Cdfg, u32)> = vec![(dealer(), 5), (gcd(), 6), (vender(), 6)];
+    for (cdfg, steps) in cases {
+        let orders: Vec<(&str, MuxOrder)> = vec![
+            ("outputs-first", MuxOrder::OutputsFirst),
+            ("inputs-first", MuxOrder::InputsFirst),
+            ("by-savings", MuxOrder::BySavings),
+        ];
+        for (label, order) in orders {
+            let result = power_manage(
+                &cdfg,
+                &PowerManagementOptions::with_latency(steps).mux_order(order),
+            )?;
+            rows.push(ReorderRow {
+                circuit: cdfg.name().to_owned(),
+                control_steps: steps,
+                order: label.to_owned(),
+                pm_muxes: result.managed_mux_count(),
+                power_reduction: result.savings().reduction_percent,
+            });
+        }
+        let best = power_manage_reordered(&cdfg, &PowerManagementOptions::with_latency(steps), 5)?;
+        rows.push(ReorderRow {
+            circuit: cdfg.name().to_owned(),
+            control_steps: steps,
+            order: "reordered (best)".to_owned(),
+            pm_muxes: best.managed_mux_count(),
+            power_reduction: best.savings().reduction_percent,
+        });
+    }
+    Ok(rows)
+}
+
+/// The effect of pipeline depth on one circuit under a tight throughput
+/// constraint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineRow {
+    /// Circuit name.
+    pub circuit: String,
+    /// Throughput constraint (control steps between samples).
+    pub throughput_steps: u32,
+    /// Pipeline stages.
+    pub stages: u32,
+    /// Control steps available to one sample after pipelining.
+    pub effective_steps: u32,
+    /// Power-managed multiplexors.
+    pub pm_muxes: usize,
+    /// Datapath power reduction in percent.
+    pub power_reduction: f64,
+    /// Estimated extra pipeline registers.
+    pub extra_registers: usize,
+}
+
+/// Runs the pipelining ablation (Section IV-B): each circuit at its
+/// critical-path throughput with 1, 2 and 3 pipeline stages.
+///
+/// # Errors
+///
+/// Propagates scheduling failures.
+pub fn pipeline_ablation() -> Result<Vec<PipelineRow>, PowerManageError> {
+    let mut rows = Vec::new();
+    let cases: Vec<(Cdfg, u32)> = vec![(dealer(), 4), (gcd(), 5), (vender(), 5)];
+    for (cdfg, steps) in cases {
+        for stages in 1..=3u32 {
+            let report =
+                power_manage_pipelined(&cdfg, &PowerManagementOptions::with_latency(steps), stages)?;
+            rows.push(PipelineRow {
+                circuit: cdfg.name().to_owned(),
+                throughput_steps: steps,
+                stages,
+                effective_steps: report.effective_latency,
+                pm_muxes: report.result.managed_mux_count(),
+                power_reduction: report.reduction_percent(),
+                extra_registers: report.extra_registers,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// Renders the reorder ablation as text.
+pub fn render_reorder(rows: &[ReorderRow]) -> String {
+    let mut out = String::from("Ablation (Section IV-A): multiplexor processing order\n");
+    out.push_str(&format!(
+        "{:<8} {:>3} {:<18} {:>5} {:>8}\n",
+        "Circuit", "Stp", "Order", "Muxs", "Red.(%)"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<8} {:>3} {:<18} {:>5} {:>8.2}\n",
+            r.circuit, r.control_steps, r.order, r.pm_muxes, r.power_reduction
+        ));
+    }
+    out
+}
+
+/// Renders the pipeline ablation as text.
+pub fn render_pipeline(rows: &[PipelineRow]) -> String {
+    let mut out = String::from("Ablation (Section IV-B): pipelining as a power-management enabler\n");
+    out.push_str(&format!(
+        "{:<8} {:>4} {:>6} {:>6} {:>5} {:>8} {:>6}\n",
+        "Circuit", "Thru", "Stages", "Steps", "Muxs", "Red.(%)", "Regs"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<8} {:>4} {:>6} {:>6} {:>5} {:>8.2} {:>6}\n",
+            r.circuit, r.throughput_steps, r.stages, r.effective_steps, r.pm_muxes, r.power_reduction, r.extra_registers
+        ));
+    }
+    out
+}
+
+/// A quick sanity ablation across all benchmarks: the power-managed run
+/// never does worse than the baseline at the same constraints.
+///
+/// # Errors
+///
+/// Propagates scheduling failures.
+pub fn never_worse_than_baseline() -> Result<bool, PowerManageError> {
+    for bench in all_benchmarks() {
+        for &steps in &bench.control_steps {
+            let result = power_manage(&bench.cdfg, &PowerManagementOptions::with_latency(steps))?;
+            if result.savings().reduction_percent < -1e-9 {
+                return Ok(false);
+            }
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reordering_never_loses_to_the_default_order() {
+        let rows = reorder_ablation().unwrap();
+        for circuit in ["dealer", "gcd", "vender"] {
+            let best = rows
+                .iter()
+                .find(|r| r.circuit == circuit && r.order == "reordered (best)")
+                .unwrap();
+            let default = rows
+                .iter()
+                .find(|r| r.circuit == circuit && r.order == "outputs-first")
+                .unwrap();
+            assert!(
+                best.power_reduction >= default.power_reduction - 1e-9,
+                "{circuit}: reordered {} < default {}",
+                best.power_reduction,
+                default.power_reduction
+            );
+        }
+        assert!(render_reorder(&rows).contains("outputs-first"));
+    }
+
+    #[test]
+    fn pipelining_creates_slack_and_more_savings() {
+        let rows = pipeline_ablation().unwrap();
+        for circuit in ["dealer", "gcd", "vender"] {
+            let one: Vec<&PipelineRow> = rows.iter().filter(|r| r.circuit == circuit).collect();
+            assert_eq!(one.len(), 3);
+            assert!(one[1].power_reduction >= one[0].power_reduction - 1e-9);
+            assert!(one[1].effective_steps == one[0].effective_steps * 2);
+            // The cost: deeper pipelines need at least as many extra
+            // registers as shallower ones (within noise of the schedule).
+            assert!(one[2].pm_muxes >= one[0].pm_muxes);
+        }
+        assert!(render_pipeline(&rows).contains("Stages"));
+    }
+
+    #[test]
+    fn power_management_never_hurts() {
+        assert!(never_worse_than_baseline().unwrap());
+    }
+}

@@ -1,0 +1,11 @@
+//! Prints the Section IV-B ablation (pipelining as a power-management
+//! enabler).
+fn main() {
+    match experiments::ablation::pipeline_ablation() {
+        Ok(rows) => print!("{}", experiments::ablation::render_pipeline(&rows)),
+        Err(e) => {
+            eprintln!("ablation failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

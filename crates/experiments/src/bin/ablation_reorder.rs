@@ -1,0 +1,10 @@
+//! Prints the Section IV-A ablation (multiplexor processing order).
+fn main() {
+    match experiments::ablation::reorder_ablation() {
+        Ok(rows) => print!("{}", experiments::ablation::render_reorder(&rows)),
+        Err(e) => {
+            eprintln!("ablation failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

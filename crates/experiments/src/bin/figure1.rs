@@ -1,0 +1,10 @@
+//! Prints the Figure 1 reproduction (|a - b| with two control steps).
+fn main() {
+    match experiments::figures::figure1() {
+        Ok(fig) => print!("{}", experiments::figures::render_figure1(&fig)),
+        Err(e) => {
+            eprintln!("figure1 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! Prints the Figure 2 reproduction (|a - b| with three control steps,
+//! traditional vs power-managed).
+fn main() {
+    match experiments::figures::figure2() {
+        Ok(fig) => print!("{}", experiments::figures::render_figure2(&fig)),
+        Err(e) => {
+            eprintln!("figure2 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Prints the branch-probability sensitivity sweep for every benchmark at
+//! its largest Table II control-step budget.
+fn main() {
+    for bench in circuits::all_benchmarks() {
+        let steps = *bench.control_steps.last().expect("budgets are non-empty");
+        match experiments::sensitivity::sweep(&bench.cdfg, steps, 10) {
+            Ok(report) => println!("{}", experiments::sensitivity::render(&report)),
+            Err(e) => {
+                eprintln!("sensitivity sweep failed for {}: {e}", bench.name);
+                std::process::exit(1);
+            }
+        }
+    }
+}

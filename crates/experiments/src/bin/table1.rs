@@ -1,0 +1,5 @@
+//! Prints Table I (circuit statistics).
+fn main() {
+    let rows = experiments::table1::table1();
+    print!("{}", experiments::table1::render(&rows));
+}

@@ -1,0 +1,11 @@
+//! Prints Table II (expected operation executions and datapath power
+//! reduction under power management).
+fn main() {
+    match experiments::table2::table2() {
+        Ok(rows) => print!("{}", experiments::table2::render(&rows)),
+        Err(e) => {
+            eprintln!("table2 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

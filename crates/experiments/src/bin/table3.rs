@@ -1,0 +1,10 @@
+//! Prints Table III (gate-level area and power comparison).
+fn main() {
+    match experiments::table3::table3() {
+        Ok(rows) => print!("{}", experiments::table3::render(&rows)),
+        Err(e) => {
+            eprintln!("table3 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Figures 1 and 2: the |a − b| walkthrough.
+
+use circuits::abs_diff;
+use pmsched::{power_manage, PowerManageError, PowerManagementOptions, PowerManagementResult};
+use sched::ResourceConstraint;
+use cdfg::OpClass;
+
+/// The reproduction of Figure 1: with only two control steps the schedule
+/// is unique, needs two subtractors and offers no power management.
+#[derive(Debug, Clone)]
+pub struct Figure1 {
+    /// The power-management result (degenerate: nothing managed).
+    pub result: PowerManagementResult,
+    /// Graphviz DOT rendering of the CDFG.
+    pub dot: String,
+}
+
+/// The reproduction of Figure 2: with three control steps, (a) a
+/// traditional schedule needs only one subtractor, and (b) the
+/// power-managed schedule places the comparison first and shuts one
+/// subtraction down every sample.
+#[derive(Debug, Clone)]
+pub struct Figure2 {
+    /// (a) the traditional, resource-minimising schedule.
+    pub traditional: PowerManagementResult,
+    /// (b) the power-managed schedule (two subtractors, comparison first).
+    pub managed: PowerManagementResult,
+}
+
+/// Reproduces Figure 1.
+///
+/// # Errors
+///
+/// Propagates scheduling failures (none are expected for this fixed input).
+pub fn figure1() -> Result<Figure1, PowerManageError> {
+    let cdfg = abs_diff();
+    let dot = cdfg::dot::to_dot(&cdfg);
+    let result = power_manage(&cdfg, &PowerManagementOptions::with_latency(2))?;
+    Ok(Figure1 { result, dot })
+}
+
+/// Reproduces Figure 2.
+///
+/// # Errors
+///
+/// Propagates scheduling failures (none are expected for this fixed input).
+pub fn figure2() -> Result<Figure2, PowerManageError> {
+    let cdfg = abs_diff();
+    // (a): traditional scheduling with minimum resources — one subtractor.
+    let one_sub = ResourceConstraint::limited([
+        (OpClass::Sub, 1),
+        (OpClass::Comp, 1),
+        (OpClass::Mux, 1),
+    ]);
+    let traditional = power_manage(
+        &cdfg,
+        &PowerManagementOptions::with_resources(3, one_sub),
+    )?;
+    // (b): power-managed scheduling with two subtractors available.
+    let managed = power_manage(&cdfg, &PowerManagementOptions::with_latency(3))?;
+    Ok(Figure2 { traditional, managed })
+}
+
+/// Renders the Figure 1 report as text.
+pub fn render_figure1(fig: &Figure1) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 1: |a - b| with 2 control steps (no power management possible)\n");
+    out.push_str(&fig.result.schedule().render(fig.result.cdfg()));
+    out.push_str(&format!(
+        "power-managed muxes: {}, subtractors required: {}\n",
+        fig.result.managed_mux_count(),
+        fig.result.resource_usage().count(OpClass::Sub)
+    ));
+    out.push_str("\nCDFG (Graphviz):\n");
+    out.push_str(&fig.dot);
+    out
+}
+
+/// Renders the Figure 2 report as text.
+pub fn render_figure2(fig: &Figure2) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 2(a): traditional schedule, 3 control steps, 1 subtractor\n");
+    out.push_str(&fig.traditional.schedule().render(fig.traditional.cdfg()));
+    out.push_str("\nFigure 2(b): power-managed schedule, 3 control steps\n");
+    out.push_str(&fig.managed.schedule().render(fig.managed.cdfg()));
+    out.push_str(&format!(
+        "\npower-managed muxes: {}, datapath power reduction: {:.1}%\n",
+        fig.managed.managed_mux_count(),
+        fig.managed.savings().reduction_percent
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_has_unique_two_step_schedule_without_management() {
+        let fig = figure1().unwrap();
+        assert_eq!(fig.result.schedule().num_steps(), 2);
+        assert_eq!(fig.result.managed_mux_count(), 0);
+        assert_eq!(fig.result.resource_usage().count(OpClass::Sub), 2);
+        assert!(fig.dot.contains("MUX"));
+        let text = render_figure1(&fig);
+        assert!(text.contains("step 1"));
+        assert!(text.contains("digraph"));
+    }
+
+    #[test]
+    fn figure2_contrasts_traditional_and_managed_schedules() {
+        let fig = figure2().unwrap();
+        // (a): one subtractor, no gating.
+        assert_eq!(fig.traditional.resource_usage().count(OpClass::Sub), 1);
+        // (b): the comparison is scheduled first, one subtraction is gated
+        // each sample, at the cost of a second subtractor.
+        assert_eq!(fig.managed.managed_mux_count(), 1);
+        assert_eq!(fig.managed.resource_usage().count(OpClass::Sub), 2);
+        assert!(fig.managed.savings().reduction_percent > 10.0);
+        let text = render_figure2(&fig);
+        assert!(text.contains("Figure 2(a)"));
+        assert!(text.contains("Figure 2(b)"));
+    }
+
+    #[test]
+    fn partial_management_with_one_subtractor_still_saves_power() {
+        // The end of Section II-B: even with a single subtractor the
+        // operation scheduled after the comparison can be disabled.
+        let fig = figure2().unwrap();
+        let partial = fig.traditional.savings().reduction_percent;
+        assert!(partial > 0.0, "one-subtractor schedule still gates the later subtraction");
+        assert!(partial <= fig.managed.savings().reduction_percent + 1e-9);
+    }
+}

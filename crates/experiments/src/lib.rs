@@ -1,0 +1,31 @@
+//! Experiment harness: regenerates every table and figure of the paper.
+//!
+//! | paper artifact | module | binary |
+//! |----------------|--------|--------|
+//! | Figure 1 (2-step \|a−b\| schedule) | [`figures::figure1`] | `cargo run -p experiments --bin figure1` |
+//! | Figure 2 (3-step schedules, traditional vs power-managed) | [`figures::figure2`] | `--bin figure2` |
+//! | Table I (circuit statistics) | [`table1`] | `--bin table1` |
+//! | Table II (expected operation executions & datapath power reduction) | [`table2`] | `--bin table2` |
+//! | Table III (gate-level area & power, Synopsys substitute) | [`table3`] | `--bin table3` |
+//! | Section IV-A (multiplexor reordering) | [`ablation`] | `--bin ablation_reorder` |
+//! | Section IV-B (pipelining) | [`ablation`] | `--bin ablation_pipeline` |
+//! | Branch-probability sensitivity (Section V's fairness assumption) | [`sensitivity`] | `--bin sensitivity` |
+//!
+//! Absolute numbers differ from the paper (different benchmark
+//! reconstructions, different power model), but every qualitative claim is
+//! reproduced; see `EXPERIMENTS.md` at the repository root for the
+//! side-by-side comparison.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod figures;
+pub mod sensitivity;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+
+pub use crate::table1::{table1, Table1Row};
+pub use crate::table2::{table2, table2_for, Table2Row};
+pub use crate::table3::{table3, table3_for, Table3Row};

@@ -1,0 +1,124 @@
+//! Branch-probability sensitivity analysis.
+//!
+//! Table II assumes "each multiplexor has equal probability of selecting any
+//! of its inputs".  Real workloads are rarely that balanced, so this module
+//! sweeps a common select probability across all managed multiplexors and
+//! reports how the datapath savings respond — the savings are linear in each
+//! probability, bounded by the all-zero / all-one extremes, and maximal
+//! savings do *not* necessarily occur at the fair point (they do only when
+//! the two branches cost the same).
+
+use cdfg::Cdfg;
+use pmsched::{power_manage, OpWeights, PowerManageError, PowerManagementOptions, SelectProbabilities};
+
+/// Savings at one swept probability point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensitivityPoint {
+    /// Probability that every managed multiplexor selects its 1-input.
+    pub p_select_one: f64,
+    /// Datapath power reduction in percent at that probability.
+    pub power_reduction: f64,
+}
+
+/// The sweep result for one circuit at one control-step budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensitivityReport {
+    /// Circuit name.
+    pub circuit: String,
+    /// Control steps used.
+    pub control_steps: u32,
+    /// Savings at each swept probability (ascending in probability).
+    pub points: Vec<SensitivityPoint>,
+}
+
+impl SensitivityReport {
+    /// The swept probability with the highest savings.
+    pub fn best(&self) -> &SensitivityPoint {
+        self.points
+            .iter()
+            .max_by(|a, b| a.power_reduction.total_cmp(&b.power_reduction))
+            .expect("sweep is never empty")
+    }
+
+    /// The savings at the fair (0.5) point, if it was swept.
+    pub fn fair(&self) -> Option<&SensitivityPoint> {
+        self.points.iter().find(|p| (p.p_select_one - 0.5).abs() < 1e-9)
+    }
+}
+
+/// Sweeps the select probability of every multiplexor of `cdfg` from 0 to 1
+/// in `steps` increments and records the datapath savings at each point.
+///
+/// # Errors
+///
+/// Propagates scheduling failures from [`power_manage`].
+pub fn sweep(cdfg: &Cdfg, control_steps: u32, steps: usize) -> Result<SensitivityReport, PowerManageError> {
+    let result = power_manage(cdfg, &PowerManagementOptions::with_latency(control_steps))?;
+    let weights = OpWeights::paper_power();
+    let muxes = result.cdfg().mux_nodes();
+    let mut points = Vec::with_capacity(steps + 1);
+    for i in 0..=steps {
+        let p = i as f64 / steps as f64;
+        let mut probs = SelectProbabilities::fair();
+        for &mux in &muxes {
+            probs.set(mux, p);
+        }
+        let savings = result.savings_with(&probs, &weights);
+        points.push(SensitivityPoint { p_select_one: p, power_reduction: savings.reduction_percent });
+    }
+    Ok(SensitivityReport { circuit: cdfg.name().to_owned(), control_steps, points })
+}
+
+/// Renders a sweep as a small text table.
+pub fn render(report: &SensitivityReport) -> String {
+    let mut out = format!(
+        "Sensitivity of datapath savings to branch probability ({} @ {} steps)\n",
+        report.circuit, report.control_steps
+    );
+    out.push_str(&format!("{:>6} {:>10}\n", "P(1)", "Red.(%)"));
+    for point in &report.points {
+        out.push_str(&format!("{:>6.2} {:>10.2}\n", point.p_select_one, point.power_reduction));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circuits::{abs_diff, vender};
+
+    #[test]
+    fn abs_diff_savings_are_flat_in_probability() {
+        // Both branches of |a - b| cost the same (one subtraction), so the
+        // expected savings are independent of the branch probability.
+        let report = sweep(&abs_diff(), 3, 10).unwrap();
+        let first = report.points.first().unwrap().power_reduction;
+        for point in &report.points {
+            assert!((point.power_reduction - first).abs() < 1e-9);
+        }
+        assert!(report.fair().is_some());
+    }
+
+    #[test]
+    fn vender_savings_peak_where_the_multipliers_are_skipped() {
+        // vender's expensive multipliers sit on the 1-branches of their
+        // multiplexors, so savings grow as the selects move towards 0 (the
+        // multipliers are skipped more often).
+        let report = sweep(&vender(), 6, 10).unwrap();
+        let at_zero = report.points.first().unwrap().power_reduction;
+        let at_one = report.points.last().unwrap().power_reduction;
+        let fair = report.fair().unwrap().power_reduction;
+        assert!(at_zero > at_one, "skipping multipliers saves more: {at_zero} vs {at_one}");
+        assert!(fair > at_one && fair < at_zero, "fair point sits between the extremes");
+        assert_eq!(report.best().p_select_one, 0.0);
+        assert!(report.best().power_reduction > 40.0);
+    }
+
+    #[test]
+    fn render_lists_every_point() {
+        let report = sweep(&abs_diff(), 3, 4).unwrap();
+        let text = render(&report);
+        assert_eq!(text.lines().count(), 2 + report.points.len());
+        assert!(text.contains("abs_diff"));
+    }
+}

@@ -1,0 +1,61 @@
+//! Table I: circuit statistics.
+
+use circuits::{all_benchmarks, CircuitStats};
+
+/// One row of Table I.
+pub type Table1Row = CircuitStats;
+
+/// Computes Table I for the four benchmark circuits.
+pub fn table1() -> Vec<Table1Row> {
+    all_benchmarks().iter().map(|b| CircuitStats::of(&b.cdfg)).collect()
+}
+
+/// Renders Table I in the paper's layout.
+pub fn render(rows: &[Table1Row]) -> String {
+    let mut out = String::new();
+    out.push_str("Table I: circuit statistics\n");
+    out.push_str(&format!(
+        "{:<8} {:>4} {:>5} {:>5} {:>4} {:>4} {:>4}\n",
+        "Circuit", "Path", "MUX", "COMP", "+", "-", "*"
+    ));
+    for row in rows {
+        out.push_str(&row.render_row());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_the_paper_exactly() {
+        let rows = table1();
+        let expect: &[(&str, u32, usize, usize, usize, usize, usize)] = &[
+            ("dealer", 4, 3, 3, 2, 1, 0),
+            ("gcd", 5, 6, 2, 0, 1, 0),
+            ("vender", 5, 6, 3, 3, 3, 2),
+            ("cordic", 48, 47, 16, 43, 46, 0),
+        ];
+        assert_eq!(rows.len(), expect.len());
+        for (row, &(name, cp, mux, comp, add, sub, mul)) in rows.iter().zip(expect) {
+            assert_eq!(row.name, name);
+            assert_eq!(row.critical_path, cp, "{name}");
+            assert_eq!(row.counts.mux, mux, "{name}");
+            assert_eq!(row.counts.comp, comp, "{name}");
+            assert_eq!(row.counts.add, add, "{name}");
+            assert_eq!(row.counts.sub, sub, "{name}");
+            assert_eq!(row.counts.mul, mul, "{name}");
+        }
+    }
+
+    #[test]
+    fn render_contains_every_circuit() {
+        let text = render(&table1());
+        for name in ["dealer", "gcd", "vender", "cordic"] {
+            assert!(text.contains(name));
+        }
+        assert!(text.starts_with("Table I"));
+    }
+}

@@ -1,0 +1,44 @@
+//! Power and area estimation for the power-management synthesis flow.
+//!
+//! Two estimation paths mirror the paper's evaluation:
+//!
+//! * the *probabilistic* datapath estimate of Table II — expected operation
+//!   executions under fair branch probabilities weighted by the relative op
+//!   power weights (provided by [`pmsched::SavingsReport`] and re-exported
+//!   here through [`estimate::datapath_estimate`]),
+//! * the *simulation-based* estimate of Table III — the generated RTL is
+//!   executed on random input vectors with the cycle-accurate simulator of
+//!   the `rtl` crate, switching activity is converted to energy, and the
+//!   gate-level area is reported for both the original and the
+//!   power-managed design ([`estimate::gate_level_comparison`]).
+//!
+//! # Example
+//!
+//! ```
+//! use cdfg::{Cdfg, Op};
+//! use power::estimate::{gate_level_comparison, GateLevelOptions};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut g = Cdfg::new("abs_diff");
+//! let a = g.add_input("a");
+//! let b = g.add_input("b");
+//! let gt = g.add_op(Op::Gt, &[a, b])?;
+//! let amb = g.add_op(Op::Sub, &[a, b])?;
+//! let bma = g.add_op(Op::Sub, &[b, a])?;
+//! let m = g.add_mux(gt, bma, amb)?;
+//! g.add_output("abs", m)?;
+//!
+//! let report = gate_level_comparison(&g, &GateLevelOptions::new(3).samples(200))?;
+//! assert!(report.power_reduction_percent > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod estimate;
+pub mod vectors;
+
+pub use crate::estimate::{GateLevelOptions, GateLevelReport};
+pub use crate::vectors::RandomVectors;

@@ -1,0 +1,289 @@
+//! Latency-constrained force-directed scheduling (Paulin & Knight).
+//!
+//! Given a latency, force-directed scheduling chooses a control step for
+//! every operation so that operations of the same class are spread as evenly
+//! as possible over the steps, which minimises the number of execution units
+//! the final allocation needs.  This is the behaviour the paper relies on
+//! from HYPER's scheduler ("targeting minimum hardware resources for the
+//! desired throughput", step 11 of the algorithm).
+
+use std::collections::BTreeMap;
+
+use cdfg::{Cdfg, NodeId, OpClass};
+
+use crate::error::ScheduleError;
+use crate::schedule::Schedule;
+use crate::timing::Timing;
+
+/// Mutable time frame `[earliest, latest]` of an operation during
+/// force-directed scheduling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Frame {
+    earliest: u32,
+    latest: u32,
+}
+
+impl Frame {
+    fn width(self) -> u32 {
+        self.latest - self.earliest + 1
+    }
+
+    fn probability(self, step: u32) -> f64 {
+        if step >= self.earliest && step <= self.latest {
+            1.0 / f64::from(self.width())
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Schedules `cdfg` within `latency` control steps, minimising the peak
+/// number of simultaneously busy execution units per class.
+///
+/// # Errors
+///
+/// Returns [`ScheduleError::LatencyTooSmall`] if the latency is below the
+/// critical path (taking control edges into account).
+pub fn schedule(cdfg: &Cdfg, latency: u32) -> Result<Schedule, ScheduleError> {
+    let timing = Timing::compute(cdfg, latency);
+    if !timing.is_feasible() {
+        return Err(ScheduleError::LatencyTooSmall {
+            requested: latency,
+            critical_path: timing.min_latency(),
+        });
+    }
+
+    let functional = cdfg.functional_nodes();
+    let mut frames: BTreeMap<NodeId, Frame> = functional
+        .iter()
+        .map(|&n| (n, Frame { earliest: timing.asap(n), latest: timing.alap(n) }))
+        .collect();
+
+    // Nodes with a single-step frame are already fixed.
+    let mut fixed: BTreeMap<NodeId, u32> = BTreeMap::new();
+    for (&n, frame) in &frames {
+        if frame.width() == 1 {
+            fixed.insert(n, frame.earliest);
+        }
+    }
+
+    while fixed.len() < functional.len() {
+        // Distribution graphs: expected number of operations of each class in
+        // each step, given the current frames.
+        let mut dg: BTreeMap<(OpClass, u32), f64> = BTreeMap::new();
+        for (&n, frame) in &frames {
+            let class = cdfg.node(n).expect("live node").op.class();
+            for step in frame.earliest..=frame.latest {
+                *dg.entry((class, step)).or_insert(0.0) += frame.probability(step);
+            }
+        }
+
+        // Pick the unfixed (node, step) pair with the smallest self-force.
+        let mut best: Option<(NodeId, u32, f64)> = None;
+        for &n in &functional {
+            if fixed.contains_key(&n) {
+                continue;
+            }
+            let frame = frames[&n];
+            let class = cdfg.node(n).expect("live node").op.class();
+            for step in frame.earliest..=frame.latest {
+                // Self force = DG(step) * (1 - p) - sum_{other steps} DG * p,
+                // the standard Paulin/Knight formulation restricted to the
+                // operation's own frame.
+                let force = self_force(&dg, class, frame, step);
+                let better = match best {
+                    None => true,
+                    Some((bn, bs, bf)) => {
+                        force < bf - 1e-9 || ((force - bf).abs() <= 1e-9 && (n, step) < (bn, bs))
+                    }
+                };
+                if better {
+                    best = Some((n, step, force));
+                }
+            }
+        }
+
+        let (node, step, _) = best.expect("at least one unfixed node");
+        fixed.insert(node, step);
+        frames.insert(node, Frame { earliest: step, latest: step });
+
+        // Propagate the tightened frame through the precedence relation.
+        propagate(cdfg, &mut frames, &fixed, latency);
+    }
+
+    let mut schedule = Schedule::new(latency);
+    for (n, s) in fixed {
+        schedule.assign(n, s);
+    }
+    Ok(schedule)
+}
+
+/// Self force of placing an operation of `class` with time frame `frame` at
+/// `step`: the standard `DG · (new probability − old probability)` sum over
+/// the frame.
+fn self_force(dg: &BTreeMap<(OpClass, u32), f64>, class: OpClass, frame: Frame, step: u32) -> f64 {
+    let p = frame.probability(step);
+    let mut force = 0.0;
+    for s in frame.earliest..=frame.latest {
+        let dg_s = dg.get(&(class, s)).copied().unwrap_or(0.0);
+        let delta = if s == step { 1.0 - p } else { -p };
+        force += dg_s * delta;
+    }
+    force
+}
+
+
+/// Restores frame consistency after a node has been fixed: every functional
+/// successor must start after its predecessors, every predecessor must
+/// finish before its successors.
+fn propagate(cdfg: &Cdfg, frames: &mut BTreeMap<NodeId, Frame>, fixed: &BTreeMap<NodeId, u32>, latency: u32) {
+    // Iterate to a fixed point; graphs are small (tens to hundreds of nodes).
+    let order = cdfg.topological_order();
+    loop {
+        let mut changed = false;
+        // Forward: earliest = max(pred earliest + 1).
+        for &n in &order {
+            if !frames.contains_key(&n) {
+                continue;
+            }
+            let mut earliest = frames[&n].earliest;
+            for p in cdfg.predecessors(n) {
+                if let Some(pf) = frames.get(&p) {
+                    earliest = earliest.max(pf.earliest + 1);
+                }
+            }
+            if fixed.contains_key(&n) {
+                continue;
+            }
+            let frame = frames.get_mut(&n).expect("present");
+            if earliest > frame.earliest {
+                frame.earliest = earliest.min(latency);
+                frame.latest = frame.latest.max(frame.earliest);
+                changed = true;
+            }
+        }
+        // Backward: latest = min(succ latest - 1).
+        for &n in order.iter().rev() {
+            if !frames.contains_key(&n) {
+                continue;
+            }
+            let mut latest = frames[&n].latest;
+            for s in cdfg.successors(n) {
+                if let Some(sf) = frames.get(&s) {
+                    latest = latest.min(sf.latest.saturating_sub(1).max(1));
+                }
+            }
+            if fixed.contains_key(&n) {
+                continue;
+            }
+            let frame = frames.get_mut(&n).expect("present");
+            if latest < frame.latest {
+                frame.latest = latest.max(frame.earliest);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resource::ResourceConstraint;
+    use cdfg::Op;
+
+    fn abs_diff() -> (Cdfg, NodeId, NodeId, NodeId, NodeId) {
+        let mut g = Cdfg::new("abs_diff");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let gt = g.add_op(Op::Gt, &[a, b]).unwrap();
+        let amb = g.add_op(Op::Sub, &[a, b]).unwrap();
+        let bma = g.add_op(Op::Sub, &[b, a]).unwrap();
+        let m = g.add_mux(gt, bma, amb).unwrap();
+        g.add_output("abs", m).unwrap();
+        (g, gt, amb, bma, m)
+    }
+
+    #[test]
+    fn three_steps_use_a_single_subtractor() {
+        // Figure 2(a): with three control steps force-directed scheduling
+        // spreads the two subtractions over different steps, so one
+        // subtractor suffices.
+        let (g, _gt, amb, bma, _m) = abs_diff();
+        let s = schedule(&g, 3).unwrap();
+        s.validate(&g).unwrap();
+        assert_ne!(s.step_of(amb), s.step_of(bma));
+        let usage = s.resource_usage(&g);
+        assert_eq!(usage.count(OpClass::Sub), 1);
+    }
+
+    #[test]
+    fn two_steps_need_two_subtractors() {
+        // Figure 1: with only two control steps both subtractions land in
+        // step 1 and two subtractors are required.
+        let (g, ..) = abs_diff();
+        let s = schedule(&g, 2).unwrap();
+        s.validate(&g).unwrap();
+        let usage = s.resource_usage(&g);
+        assert_eq!(usage.count(OpClass::Sub), 2);
+    }
+
+    #[test]
+    fn latency_below_critical_path_is_rejected() {
+        let (g, ..) = abs_diff();
+        let err = schedule(&g, 1).unwrap_err();
+        assert!(matches!(err, ScheduleError::LatencyTooSmall { requested: 1, critical_path: 2 }));
+    }
+
+    #[test]
+    fn control_edges_constrain_force_directed_scheduling() {
+        let (mut g, gt, amb, bma, m) = abs_diff();
+        g.add_control_edge(gt, amb).unwrap();
+        g.add_control_edge(gt, bma).unwrap();
+        let s = schedule(&g, 3).unwrap();
+        s.validate(&g).unwrap();
+        assert_eq!(s.step_of(gt), Some(1));
+        assert!(s.step_of(amb).unwrap() >= 2);
+        assert!(s.step_of(bma).unwrap() >= 2);
+        assert_eq!(s.step_of(m), Some(3));
+    }
+
+    #[test]
+    fn balances_adders_over_steps() {
+        // Four independent additions, two steps: force-directed scheduling
+        // should put two in each step so that only two adders are needed.
+        let mut g = Cdfg::new("adds");
+        let mut sums = Vec::new();
+        for i in 0..4 {
+            let a = g.add_input(format!("a{i}"));
+            let b = g.add_input(format!("b{i}"));
+            sums.push(g.add_op(Op::Add, &[a, b]).unwrap());
+        }
+        // A final combining stage so the graph has depth 2 and outputs.
+        let c1 = g.add_op(Op::Add, &[sums[0], sums[1]]).unwrap();
+        let c2 = g.add_op(Op::Add, &[sums[2], sums[3]]).unwrap();
+        g.add_output("o1", c1).unwrap();
+        g.add_output("o2", c2).unwrap();
+
+        let s = schedule(&g, 3).unwrap();
+        s.validate(&g).unwrap();
+        let usage = s.resource_usage(&g);
+        assert!(
+            usage.count(OpClass::Add) <= 3,
+            "force-directed scheduling should avoid piling all six adds into two steps: {usage}"
+        );
+        // A valid schedule under the derived resource bound exists.
+        let constraint = ResourceConstraint::Limited(usage);
+        s.validate_with(&g, &constraint).unwrap();
+    }
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let (g, ..) = abs_diff();
+        let s1 = schedule(&g, 4).unwrap();
+        let s2 = schedule(&g, 4).unwrap();
+        assert_eq!(s1, s2);
+    }
+}

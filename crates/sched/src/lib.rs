@@ -1,0 +1,59 @@
+//! Operation scheduling substrate for behavioral synthesis.
+//!
+//! This crate plays the role of the HYPER scheduler used by Monteiro et al.
+//! (DAC 1996): given a [`cdfg::Cdfg`], a throughput constraint (number of
+//! control steps) and optionally hardware resource constraints, it assigns
+//! every functional operation to a control step.
+//!
+//! Provided pieces:
+//!
+//! * [`timing`] — ASAP / ALAP values and mobility (slack) for a given
+//!   latency, the quantities manipulated by steps 4–8 of the paper's
+//!   algorithm,
+//! * [`resource`] — execution-unit kinds, allocations and constraints,
+//! * [`schedule`] — the schedule type plus validation and resource-usage
+//!   accounting,
+//! * [`list`] — resource-constrained list scheduling,
+//! * [`force`] — latency-constrained force-directed scheduling (minimises
+//!   the number of execution units, like HYPER),
+//! * [`hyper`] — the combined "HYPER-style" entry point used by the
+//!   power-management flow after control edges have been inserted.
+//!
+//! # Example
+//!
+//! ```
+//! use cdfg::{Cdfg, Op};
+//! use sched::hyper::{self, HyperOptions};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut g = Cdfg::new("abs_diff");
+//! let a = g.add_input("a");
+//! let b = g.add_input("b");
+//! let gt = g.add_op(Op::Gt, &[a, b])?;
+//! let amb = g.add_op(Op::Sub, &[a, b])?;
+//! let bma = g.add_op(Op::Sub, &[b, a])?;
+//! let m = g.add_mux(gt, bma, amb)?;
+//! g.add_output("abs", m)?;
+//!
+//! let schedule = hyper::schedule(&g, &HyperOptions::with_latency(3))?;
+//! assert!(schedule.num_steps() <= 3);
+//! schedule.validate(&g)?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod force;
+pub mod hyper;
+pub mod list;
+pub mod resource;
+pub mod schedule;
+pub mod timing;
+
+pub use crate::error::ScheduleError;
+pub use crate::resource::{ResourceConstraint, ResourceSet};
+pub use crate::schedule::Schedule;
+pub use crate::timing::Timing;

@@ -1,0 +1,241 @@
+//! Resource-constrained list scheduling.
+//!
+//! The classic priority-list algorithm: operations become *ready* once all
+//! their functional predecessors have completed; at each control step the
+//! ready operations are placed in priority order (most urgent first, measured
+//! by ALAP) until the per-class execution-unit limits are exhausted, then the
+//! step advances.
+
+use std::collections::BTreeMap;
+
+use cdfg::{Cdfg, NodeId};
+
+use crate::error::ScheduleError;
+use crate::resource::ResourceConstraint;
+use crate::schedule::Schedule;
+use crate::timing::Timing;
+
+/// Schedules `cdfg` under `constraint`, using as many control steps as
+/// needed.  `priority_latency` is the latency used to compute ALAP-based
+/// priorities (a reasonable choice is the critical-path length or the target
+/// latency of the design).
+///
+/// The returned schedule's `num_steps` is the number of steps actually used.
+///
+/// # Errors
+///
+/// Returns [`ScheduleError::InsufficientResources`] if a class with a zero
+/// limit is needed by the design (the schedule could never finish).
+pub fn schedule(
+    cdfg: &Cdfg,
+    constraint: &ResourceConstraint,
+    priority_latency: u32,
+) -> Result<Schedule, ScheduleError> {
+    // A class limited to zero units that the design needs can never finish.
+    if let ResourceConstraint::Limited(set) = constraint {
+        let counts = cdfg.op_counts();
+        for (class, needed) in counts.iter() {
+            if needed > 0 && set.count(class) == 0 {
+                return Err(ScheduleError::InsufficientResources { latency: 0 });
+            }
+        }
+    }
+
+    let timing = Timing::compute(cdfg, priority_latency.max(1));
+    let functional = cdfg.functional_nodes();
+    let total = functional.len();
+
+    // Remaining unscheduled functional predecessors per node.
+    let mut pending_preds: BTreeMap<NodeId, usize> = BTreeMap::new();
+    for &n in &functional {
+        let count = cdfg
+            .predecessors(n)
+            .into_iter()
+            .filter(|&p| cdfg.node(p).map(|d| d.op.is_functional()).unwrap_or(false))
+            .count();
+        pending_preds.insert(n, count);
+    }
+
+    let mut result: BTreeMap<NodeId, u32> = BTreeMap::new();
+    let mut step = 0u32;
+    // Hard cap to guarantee termination even on adversarial inputs: every
+    // step schedules at least one ready op when any unit is available, so
+    // `total + latency` steps is far more than enough.
+    let max_steps = (total as u32 + priority_latency + 2).max(4) * 2;
+
+    while result.len() < total {
+        step += 1;
+        if step > max_steps {
+            return Err(ScheduleError::InsufficientResources { latency: priority_latency });
+        }
+
+        // Ready operations: all functional predecessors scheduled in a
+        // *previous* step.
+        let mut ready: Vec<NodeId> = functional
+            .iter()
+            .copied()
+            .filter(|n| !result.contains_key(n))
+            .filter(|n| pending_preds[n] == 0)
+            .collect();
+        // Priority: smaller ALAP (more urgent) first, then smaller mobility,
+        // then node id for determinism.
+        ready.sort_by_key(|&n| (timing.alap(n), timing.mobility(n).unwrap_or(0), n));
+
+        let mut used: BTreeMap<cdfg::OpClass, usize> = BTreeMap::new();
+        let mut placed_this_step: Vec<NodeId> = Vec::new();
+        for n in ready {
+            let class = cdfg.node(n).expect("live node").op.class();
+            let in_use = used.get(&class).copied().unwrap_or(0);
+            if constraint.allows(class, in_use + 1) {
+                *used.entry(class).or_insert(0) += 1;
+                result.insert(n, step);
+                placed_this_step.push(n);
+            }
+        }
+
+        // Only after the step closes do successors of the placed operations
+        // become ready (results are available at the step boundary).
+        for n in placed_this_step {
+            for s in cdfg.successors(n) {
+                if let Some(p) = pending_preds.get_mut(&s) {
+                    *p = p.saturating_sub(1);
+                }
+            }
+        }
+    }
+
+    let num_steps = result.values().copied().max().unwrap_or(0).max(1);
+    let mut schedule = Schedule::new(num_steps);
+    for (n, s) in result {
+        schedule.assign(n, s);
+    }
+    Ok(schedule)
+}
+
+/// Schedules `cdfg` under `constraint` and fails if more than `latency`
+/// control steps are needed.
+///
+/// # Errors
+///
+/// Returns [`ScheduleError::LatencyExceeded`] when the constrained schedule
+/// does not fit, or any error from [`schedule`].
+pub fn schedule_with_latency(
+    cdfg: &Cdfg,
+    constraint: &ResourceConstraint,
+    latency: u32,
+) -> Result<Schedule, ScheduleError> {
+    let s = schedule(cdfg, constraint, latency)?;
+    if s.last_used_step() > latency {
+        return Err(ScheduleError::LatencyExceeded { allowed: latency, used: s.last_used_step() });
+    }
+    // Re-span the schedule over the full latency so idle tail steps are kept
+    // (the controller still has `latency` states).
+    let mut spanned = Schedule::new(latency);
+    for (n, step) in s.iter() {
+        spanned.assign(n, step);
+    }
+    Ok(spanned)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdfg::{Op, OpClass};
+
+    fn abs_diff() -> (Cdfg, NodeId, NodeId, NodeId, NodeId) {
+        let mut g = Cdfg::new("abs_diff");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let gt = g.add_op(Op::Gt, &[a, b]).unwrap();
+        let amb = g.add_op(Op::Sub, &[a, b]).unwrap();
+        let bma = g.add_op(Op::Sub, &[b, a]).unwrap();
+        let m = g.add_mux(gt, bma, amb).unwrap();
+        g.add_output("abs", m).unwrap();
+        (g, gt, amb, bma, m)
+    }
+
+    #[test]
+    fn unconstrained_schedule_is_asap_like() {
+        let (g, gt, amb, bma, m) = abs_diff();
+        let s = schedule(&g, &ResourceConstraint::Unlimited, 2).unwrap();
+        s.validate(&g).unwrap();
+        assert_eq!(s.step_of(gt), Some(1));
+        assert_eq!(s.step_of(amb), Some(1));
+        assert_eq!(s.step_of(bma), Some(1));
+        assert_eq!(s.step_of(m), Some(2));
+        assert_eq!(s.num_steps(), 2);
+    }
+
+    #[test]
+    fn one_subtractor_stretches_to_three_steps() {
+        // Figure 2(a) of the paper: with one subtractor the two subtractions
+        // are serialised and the design needs three control steps.
+        let (g, _gt, amb, bma, m) = abs_diff();
+        let constraint = ResourceConstraint::limited([
+            (OpClass::Sub, 1),
+            (OpClass::Comp, 1),
+            (OpClass::Mux, 1),
+        ]);
+        let s = schedule(&g, &constraint, 3).unwrap();
+        s.validate_with(&g, &constraint).unwrap();
+        assert_eq!(s.num_steps(), 3);
+        assert_ne!(s.step_of(amb), s.step_of(bma), "subtractions serialised");
+        assert_eq!(s.step_of(m), Some(3));
+    }
+
+    #[test]
+    fn control_edges_are_respected() {
+        let (mut g, gt, amb, bma, m) = abs_diff();
+        g.add_control_edge(gt, amb).unwrap();
+        g.add_control_edge(gt, bma).unwrap();
+        let s = schedule(&g, &ResourceConstraint::Unlimited, 3).unwrap();
+        s.validate(&g).unwrap();
+        assert_eq!(s.step_of(gt), Some(1));
+        assert_eq!(s.step_of(amb), Some(2));
+        assert_eq!(s.step_of(bma), Some(2));
+        assert_eq!(s.step_of(m), Some(3));
+    }
+
+    #[test]
+    fn latency_bound_is_enforced() {
+        let (g, ..) = abs_diff();
+        let one_of_each = ResourceConstraint::limited([
+            (OpClass::Sub, 1),
+            (OpClass::Comp, 1),
+            (OpClass::Mux, 1),
+        ]);
+        // Needs 3 steps with one subtractor; 2 is not enough.
+        let err = schedule_with_latency(&g, &one_of_each, 2).unwrap_err();
+        assert!(matches!(err, ScheduleError::LatencyExceeded { allowed: 2, used: 3 }));
+        // 4 steps is fine and the schedule is spanned over all 4.
+        let s = schedule_with_latency(&g, &one_of_each, 4).unwrap();
+        assert_eq!(s.num_steps(), 4);
+        assert!(s.last_used_step() <= 4);
+    }
+
+    #[test]
+    fn zero_unit_constraint_is_rejected() {
+        let (g, ..) = abs_diff();
+        let no_mux = ResourceConstraint::limited([(OpClass::Sub, 1), (OpClass::Comp, 1)]);
+        let err = schedule(&g, &no_mux, 3).unwrap_err();
+        assert!(matches!(err, ScheduleError::InsufficientResources { .. }));
+    }
+
+    #[test]
+    fn larger_chain_schedules_completely() {
+        // A small accumulation chain: ((a+b)+c)+d with one adder.
+        let mut g = Cdfg::new("chain");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let c = g.add_input("c");
+        let d = g.add_input("d");
+        let s1 = g.add_op(Op::Add, &[a, b]).unwrap();
+        let s2 = g.add_op(Op::Add, &[s1, c]).unwrap();
+        let s3 = g.add_op(Op::Add, &[s2, d]).unwrap();
+        g.add_output("sum", s3).unwrap();
+        let constraint = ResourceConstraint::limited([(OpClass::Add, 1)]);
+        let s = schedule(&g, &constraint, 3).unwrap();
+        s.validate_with(&g, &constraint).unwrap();
+        assert_eq!(s.num_steps(), 3);
+    }
+}

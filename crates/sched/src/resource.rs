@@ -1,0 +1,247 @@
+//! Execution-unit resources: allocations and constraints.
+//!
+//! Every functional [`cdfg::OpClass`] maps onto its own execution-unit kind
+//! (adder, subtractor, multiplier, comparator, multiplexor, ...), matching
+//! the allocation model of the paper where e.g. "two subtractors" are
+//! discussed for the |a − b| example.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use cdfg::OpClass;
+
+/// A count of execution units per operation class — either the units
+/// *available* (an allocation) or the units *required* (a usage summary).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ResourceSet {
+    counts: BTreeMap<OpClass, usize>,
+}
+
+impl ResourceSet {
+    /// Creates an empty resource set (zero units of everything).
+    pub fn new() -> Self {
+        ResourceSet::default()
+    }
+
+    /// Creates a resource set from `(class, count)` pairs.
+    pub fn from_pairs<I>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (OpClass, usize)>,
+    {
+        let mut set = ResourceSet::new();
+        for (class, count) in pairs {
+            set.set(class, count);
+        }
+        set
+    }
+
+    /// Number of units of `class`.
+    pub fn count(&self, class: OpClass) -> usize {
+        self.counts.get(&class).copied().unwrap_or(0)
+    }
+
+    /// Sets the number of units of `class`.
+    pub fn set(&mut self, class: OpClass, count: usize) {
+        if count == 0 {
+            self.counts.remove(&class);
+        } else {
+            self.counts.insert(class, count);
+        }
+    }
+
+    /// Increments the number of units of `class` by one and returns the new
+    /// count.
+    pub fn bump(&mut self, class: OpClass) -> usize {
+        let next = self.count(class) + 1;
+        self.set(class, next);
+        next
+    }
+
+    /// Ensures at least `count` units of `class` are present.
+    pub fn ensure_at_least(&mut self, class: OpClass, count: usize) {
+        if self.count(class) < count {
+            self.set(class, count);
+        }
+    }
+
+    /// Element-wise maximum of two resource sets.
+    pub fn max(&self, other: &ResourceSet) -> ResourceSet {
+        let mut out = self.clone();
+        for (&class, &count) in &other.counts {
+            out.ensure_at_least(class, count);
+        }
+        out
+    }
+
+    /// Total number of units across all classes.
+    pub fn total_units(&self) -> usize {
+        self.counts.values().sum()
+    }
+
+    /// Returns `true` if every class count in `self` is less than or equal
+    /// to the corresponding count in `other`.
+    pub fn fits_within(&self, other: &ResourceSet) -> bool {
+        self.counts.iter().all(|(&class, &count)| count <= other.count(class))
+    }
+
+    /// Iterates over `(class, count)` pairs with non-zero counts.
+    pub fn iter(&self) -> impl Iterator<Item = (OpClass, usize)> + '_ {
+        self.counts.iter().map(|(&c, &n)| (c, n))
+    }
+
+    /// Returns `true` if no units are allocated at all.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+}
+
+impl fmt::Display for ResourceSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.counts.is_empty() {
+            return f.write_str("(none)");
+        }
+        let mut first = true;
+        for (class, count) in self.iter() {
+            if !first {
+                f.write_str(" ")?;
+            }
+            write!(f, "{class}:{count}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<(OpClass, usize)> for ResourceSet {
+    fn from_iter<I: IntoIterator<Item = (OpClass, usize)>>(iter: I) -> Self {
+        ResourceSet::from_pairs(iter)
+    }
+}
+
+impl Extend<(OpClass, usize)> for ResourceSet {
+    fn extend<I: IntoIterator<Item = (OpClass, usize)>>(&mut self, iter: I) {
+        for (class, count) in iter {
+            self.set(class, count);
+        }
+    }
+}
+
+/// A hardware resource constraint for scheduling: either unconstrained (the
+/// scheduler may use as many units as it needs) or limited to a specific
+/// [`ResourceSet`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum ResourceConstraint {
+    /// No limit: the scheduler minimises units on its own.
+    #[default]
+    Unlimited,
+    /// Hard per-class limits.  Classes absent from the set are treated as
+    /// having zero available units, so a limited constraint must list every
+    /// class the design uses.
+    Limited(ResourceSet),
+}
+
+impl ResourceConstraint {
+    /// Convenience constructor for a limited constraint.
+    pub fn limited<I: IntoIterator<Item = (OpClass, usize)>>(pairs: I) -> Self {
+        ResourceConstraint::Limited(ResourceSet::from_pairs(pairs))
+    }
+
+    /// The limit for `class`, or `None` when unconstrained.
+    pub fn limit(&self, class: OpClass) -> Option<usize> {
+        match self {
+            ResourceConstraint::Unlimited => None,
+            ResourceConstraint::Limited(set) => Some(set.count(class)),
+        }
+    }
+
+    /// Returns `true` if scheduling `used` simultaneous operations of
+    /// `class` is allowed.
+    pub fn allows(&self, class: OpClass, used: usize) -> bool {
+        match self.limit(class) {
+            None => true,
+            Some(limit) => used <= limit,
+        }
+    }
+}
+
+impl fmt::Display for ResourceConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResourceConstraint::Unlimited => f.write_str("unlimited"),
+            ResourceConstraint::Limited(set) => write!(f, "{set}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_default_to_zero() {
+        let set = ResourceSet::new();
+        assert_eq!(set.count(OpClass::Add), 0);
+        assert!(set.is_empty());
+        assert_eq!(set.total_units(), 0);
+        assert_eq!(set.to_string(), "(none)");
+    }
+
+    #[test]
+    fn set_bump_and_ensure() {
+        let mut set = ResourceSet::new();
+        set.set(OpClass::Add, 2);
+        assert_eq!(set.bump(OpClass::Add), 3);
+        assert_eq!(set.bump(OpClass::Mul), 1);
+        set.ensure_at_least(OpClass::Mul, 4);
+        set.ensure_at_least(OpClass::Add, 1);
+        assert_eq!(set.count(OpClass::Mul), 4);
+        assert_eq!(set.count(OpClass::Add), 3);
+        set.set(OpClass::Add, 0);
+        assert_eq!(set.count(OpClass::Add), 0);
+    }
+
+    #[test]
+    fn max_and_fits_within() {
+        let a = ResourceSet::from_pairs([(OpClass::Add, 2), (OpClass::Mul, 1)]);
+        let b = ResourceSet::from_pairs([(OpClass::Add, 1), (OpClass::Comp, 3)]);
+        let m = a.max(&b);
+        assert_eq!(m.count(OpClass::Add), 2);
+        assert_eq!(m.count(OpClass::Comp), 3);
+        assert_eq!(m.count(OpClass::Mul), 1);
+        assert!(a.fits_within(&m));
+        assert!(b.fits_within(&m));
+        assert!(!m.fits_within(&a));
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let set: ResourceSet = [(OpClass::Sub, 2)].into_iter().collect();
+        assert_eq!(set.count(OpClass::Sub), 2);
+        let mut set = set;
+        set.extend([(OpClass::Mux, 5)]);
+        assert_eq!(set.count(OpClass::Mux), 5);
+        assert_eq!(set.total_units(), 7);
+    }
+
+    #[test]
+    fn constraint_allows() {
+        let unlimited = ResourceConstraint::Unlimited;
+        assert!(unlimited.allows(OpClass::Mul, 1000));
+        assert_eq!(unlimited.limit(OpClass::Mul), None);
+
+        let limited = ResourceConstraint::limited([(OpClass::Sub, 1)]);
+        assert!(limited.allows(OpClass::Sub, 1));
+        assert!(!limited.allows(OpClass::Sub, 2));
+        assert!(!limited.allows(OpClass::Add, 1), "unlisted classes have zero units");
+        assert_eq!(limited.limit(OpClass::Sub), Some(1));
+    }
+
+    #[test]
+    fn display_lists_pairs() {
+        let set = ResourceSet::from_pairs([(OpClass::Add, 1), (OpClass::Mux, 2)]);
+        let s = set.to_string();
+        assert!(s.contains("+:1"));
+        assert!(s.contains("MUX:2"));
+        assert_eq!(ResourceConstraint::Unlimited.to_string(), "unlimited");
+    }
+}

@@ -1,0 +1,320 @@
+//! The schedule type: an assignment of functional operations to control
+//! steps, plus validation and resource accounting.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use cdfg::{Cdfg, NodeId, OpClass};
+
+use crate::error::ScheduleError;
+use crate::resource::{ResourceConstraint, ResourceSet};
+
+/// An operation schedule: every functional node is assigned to exactly one
+/// control step in `1..=num_steps`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Schedule {
+    num_steps: u32,
+    steps: BTreeMap<NodeId, u32>,
+}
+
+impl Schedule {
+    /// Creates an empty schedule spanning `num_steps` control steps.
+    pub fn new(num_steps: u32) -> Self {
+        Schedule { num_steps, steps: BTreeMap::new() }
+    }
+
+    /// Number of control steps (the throughput constraint of the design).
+    pub fn num_steps(&self) -> u32 {
+        self.num_steps
+    }
+
+    /// Assigns `node` to `step`, replacing any previous assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is zero or exceeds [`Schedule::num_steps`].
+    pub fn assign(&mut self, node: NodeId, step: u32) {
+        assert!(step >= 1 && step <= self.num_steps, "step {step} outside 1..={}", self.num_steps);
+        self.steps.insert(node, step);
+    }
+
+    /// The control step assigned to `node`, if any.
+    pub fn step_of(&self, node: NodeId) -> Option<u32> {
+        self.steps.get(&node).copied()
+    }
+
+    /// Number of scheduled operations.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Returns `true` if no operation has been scheduled yet.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Iterates over `(node, step)` assignments in node-id order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, u32)> + '_ {
+        self.steps.iter().map(|(&n, &s)| (n, s))
+    }
+
+    /// All nodes assigned to `step`, in node-id order.
+    pub fn nodes_in_step(&self, step: u32) -> Vec<NodeId> {
+        self.steps
+            .iter()
+            .filter(|(_, &s)| s == step)
+            .map(|(&n, _)| n)
+            .collect()
+    }
+
+    /// The highest step actually used (0 when empty).  This can be smaller
+    /// than [`Schedule::num_steps`] if the tail steps are idle.
+    pub fn last_used_step(&self) -> u32 {
+        self.steps.values().copied().max().unwrap_or(0)
+    }
+
+    /// Per-class resource usage of each step and the element-wise maximum
+    /// over all steps — the number of execution units an allocation needs to
+    /// provide for this schedule.
+    pub fn resource_usage(&self, cdfg: &Cdfg) -> ResourceSet {
+        let mut max = ResourceSet::new();
+        for step in 1..=self.num_steps {
+            let mut used = ResourceSet::new();
+            for node in self.nodes_in_step(step) {
+                if let Some(data) = cdfg.node(node) {
+                    if data.op.is_functional() {
+                        used.bump(data.op.class());
+                    }
+                }
+            }
+            max = max.max(&used);
+        }
+        max
+    }
+
+    /// Number of operations of `class` scheduled in `step`.
+    pub fn class_usage_in_step(&self, cdfg: &Cdfg, step: u32, class: OpClass) -> usize {
+        self.nodes_in_step(step)
+            .into_iter()
+            .filter(|&n| cdfg.node(n).map(|d| d.op.class() == class).unwrap_or(false))
+            .count()
+    }
+
+    /// Checks that the schedule is complete and respects precedence, step
+    /// bounds and (optionally) a resource constraint.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found; see [`ScheduleError`].
+    pub fn validate(&self, cdfg: &Cdfg) -> Result<(), ScheduleError> {
+        self.validate_with(cdfg, &ResourceConstraint::Unlimited)
+    }
+
+    /// Like [`Schedule::validate`] but also checks per-step resource usage
+    /// against `constraint`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found; see [`ScheduleError`].
+    pub fn validate_with(&self, cdfg: &Cdfg, constraint: &ResourceConstraint) -> Result<(), ScheduleError> {
+        // Completeness and bounds.
+        for node in cdfg.functional_nodes() {
+            match self.step_of(node) {
+                None => return Err(ScheduleError::MissingNode(node)),
+                Some(step) if step == 0 || step > self.num_steps => {
+                    return Err(ScheduleError::StepOutOfRange { node, step, num_steps: self.num_steps })
+                }
+                Some(_) => {}
+            }
+        }
+        // Precedence over both data and control edges: a functional
+        // predecessor must finish strictly before its consumer starts.
+        for node in cdfg.functional_nodes() {
+            let step = self.step_of(node).expect("checked above");
+            for pred in cdfg.predecessors(node) {
+                let pred_data = cdfg.node(pred).expect("live node");
+                if !pred_data.op.is_functional() {
+                    continue;
+                }
+                let pred_step = self.step_of(pred).ok_or(ScheduleError::MissingNode(pred))?;
+                if pred_step >= step {
+                    return Err(ScheduleError::PrecedenceViolation { before: pred, after: node });
+                }
+            }
+        }
+        // Resources.
+        for step in 1..=self.num_steps {
+            let mut used: BTreeMap<OpClass, usize> = BTreeMap::new();
+            for node in self.nodes_in_step(step) {
+                if let Some(data) = cdfg.node(node) {
+                    *used.entry(data.op.class()).or_insert(0) += 1;
+                }
+            }
+            for (class, count) in used {
+                if !constraint.allows(class, count) {
+                    return Err(ScheduleError::ResourceOverflow {
+                        step,
+                        class: class.label(),
+                        limit: constraint.limit(class).unwrap_or(0),
+                        used: count,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the schedule as a step-by-step table using node names.
+    pub fn render(&self, cdfg: &Cdfg) -> String {
+        let mut out = String::new();
+        for step in 1..=self.num_steps {
+            let names: Vec<String> = self
+                .nodes_in_step(step)
+                .into_iter()
+                .filter_map(|n| cdfg.node(n).map(|d| format!("{} ({})", d.name, d.op)))
+                .collect();
+            out.push_str(&format!("step {step}: {}\n", names.join(", ")));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "schedule over {} steps ({} operations)", self.num_steps, self.steps.len())
+    }
+}
+
+impl FromIterator<(NodeId, u32)> for Schedule {
+    /// Builds a schedule whose `num_steps` is the maximum assigned step.
+    fn from_iter<I: IntoIterator<Item = (NodeId, u32)>>(iter: I) -> Self {
+        let steps: BTreeMap<NodeId, u32> = iter.into_iter().collect();
+        let num_steps = steps.values().copied().max().unwrap_or(0);
+        Schedule { num_steps, steps }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdfg::Op;
+
+    fn abs_diff() -> (Cdfg, NodeId, NodeId, NodeId, NodeId) {
+        let mut g = Cdfg::new("abs_diff");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let gt = g.add_op(Op::Gt, &[a, b]).unwrap();
+        let amb = g.add_op(Op::Sub, &[a, b]).unwrap();
+        let bma = g.add_op(Op::Sub, &[b, a]).unwrap();
+        let m = g.add_mux(gt, bma, amb).unwrap();
+        g.add_output("abs", m).unwrap();
+        (g, gt, amb, bma, m)
+    }
+
+    fn figure1_schedule(gt: NodeId, amb: NodeId, bma: NodeId, m: NodeId) -> Schedule {
+        let mut s = Schedule::new(2);
+        s.assign(gt, 1);
+        s.assign(amb, 1);
+        s.assign(bma, 1);
+        s.assign(m, 2);
+        s
+    }
+
+    #[test]
+    fn figure1_schedule_is_valid_and_needs_two_subtractors() {
+        let (g, gt, amb, bma, m) = abs_diff();
+        let s = figure1_schedule(gt, amb, bma, m);
+        s.validate(&g).unwrap();
+        let usage = s.resource_usage(&g);
+        assert_eq!(usage.count(OpClass::Sub), 2, "both subtractions share step 1");
+        assert_eq!(usage.count(OpClass::Comp), 1);
+        assert_eq!(usage.count(OpClass::Mux), 1);
+        assert_eq!(s.last_used_step(), 2);
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn missing_node_is_reported() {
+        let (g, gt, amb, _bma, m) = abs_diff();
+        let mut s = Schedule::new(2);
+        s.assign(gt, 1);
+        s.assign(amb, 1);
+        s.assign(m, 2);
+        assert!(matches!(s.validate(&g), Err(ScheduleError::MissingNode(_))));
+    }
+
+    #[test]
+    fn precedence_violation_is_reported() {
+        let (g, gt, amb, bma, m) = abs_diff();
+        let mut s = Schedule::new(2);
+        s.assign(gt, 1);
+        s.assign(amb, 2);
+        s.assign(bma, 1);
+        s.assign(m, 2);
+        let err = s.validate(&g).unwrap_err();
+        assert!(matches!(err, ScheduleError::PrecedenceViolation { .. }));
+    }
+
+    #[test]
+    fn control_edges_participate_in_precedence() {
+        let (mut g, gt, amb, bma, m) = abs_diff();
+        g.add_control_edge(gt, amb).unwrap();
+        let mut s = Schedule::new(2);
+        s.assign(gt, 1);
+        s.assign(amb, 1); // violates the control edge
+        s.assign(bma, 1);
+        s.assign(m, 2);
+        let err = s.validate(&g).unwrap_err();
+        assert!(matches!(err, ScheduleError::PrecedenceViolation { before, .. } if before == gt));
+    }
+
+    #[test]
+    fn resource_constraint_violation_is_reported() {
+        let (g, gt, amb, bma, m) = abs_diff();
+        let s = figure1_schedule(gt, amb, bma, m);
+        let one_sub = ResourceConstraint::limited([
+            (OpClass::Sub, 1),
+            (OpClass::Comp, 1),
+            (OpClass::Mux, 1),
+        ]);
+        let err = s.validate_with(&g, &one_sub).unwrap_err();
+        assert!(matches!(err, ScheduleError::ResourceOverflow { class: "-", used: 2, limit: 1, .. }));
+    }
+
+    #[test]
+    fn assign_replaces_previous_step() {
+        let (_, gt, ..) = abs_diff();
+        let mut s = Schedule::new(3);
+        s.assign(gt, 1);
+        s.assign(gt, 2);
+        assert_eq!(s.step_of(gt), Some(2));
+        assert_eq!(s.nodes_in_step(1), Vec::<NodeId>::new());
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn assigning_out_of_range_panics() {
+        let (_, gt, ..) = abs_diff();
+        let mut s = Schedule::new(2);
+        s.assign(gt, 3);
+    }
+
+    #[test]
+    fn from_iterator_infers_num_steps() {
+        let (_, gt, amb, ..) = abs_diff();
+        let s: Schedule = [(gt, 1), (amb, 4)].into_iter().collect();
+        assert_eq!(s.num_steps(), 4);
+        assert_eq!(s.step_of(amb), Some(4));
+    }
+
+    #[test]
+    fn render_and_display_are_nonempty() {
+        let (g, gt, amb, bma, m) = abs_diff();
+        let s = figure1_schedule(gt, amb, bma, m);
+        let rendered = s.render(&g);
+        assert!(rendered.contains("step 1"));
+        assert!(rendered.contains("mux"));
+        assert!(s.to_string().contains("2 steps"));
+    }
+}

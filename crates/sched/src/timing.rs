@@ -1,0 +1,231 @@
+//! ASAP / ALAP timing analysis and mobility (slack).
+//!
+//! These are the quantities the power-management algorithm reshapes: steps
+//! 4–8 of the paper recompute ASAP values of data-cone nodes and ALAP values
+//! of control-cone nodes and declare a multiplexor unmanageable when any node
+//! ends up with ASAP > ALAP.
+//!
+//! Control steps are numbered from 1; structural nodes (inputs, constants,
+//! outputs) are not scheduled and carry an ASAP of 0 and an ALAP of
+//! `latency + 1` for convenience.
+
+use std::collections::BTreeMap;
+
+use cdfg::{Cdfg, NodeId};
+
+/// ASAP and ALAP step assignments for every functional node of a CDFG under
+/// a given latency (number of control steps).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Timing {
+    latency: u32,
+    asap: BTreeMap<NodeId, u32>,
+    alap: BTreeMap<NodeId, u32>,
+}
+
+impl Timing {
+    /// Computes ASAP and ALAP values for all functional nodes of `cdfg`
+    /// assuming `latency` control steps are available.
+    ///
+    /// Both data and control (precedence) edges constrain the result.  The
+    /// computation always succeeds; use [`Timing::is_feasible`] to find out
+    /// whether the latency can actually be met.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the CDFG is cyclic or `latency` is zero.
+    pub fn compute(cdfg: &Cdfg, latency: u32) -> Self {
+        assert!(latency > 0, "latency must be at least one control step");
+        let order = cdfg.topological_order();
+
+        let mut asap: BTreeMap<NodeId, u32> = BTreeMap::new();
+        for &n in &order {
+            let data = cdfg.node(n).expect("live node");
+            if !data.op.is_functional() {
+                asap.insert(n, 0);
+                continue;
+            }
+            let earliest = cdfg
+                .predecessors(n)
+                .into_iter()
+                .map(|p| *asap.get(&p).unwrap_or(&0))
+                .max()
+                .unwrap_or(0);
+            asap.insert(n, earliest + 1);
+        }
+
+        let mut alap: BTreeMap<NodeId, u32> = BTreeMap::new();
+        for &n in order.iter().rev() {
+            let data = cdfg.node(n).expect("live node");
+            if !data.op.is_functional() {
+                alap.insert(n, latency + 1);
+                continue;
+            }
+            let latest = cdfg
+                .successors(n)
+                .into_iter()
+                .filter(|&s| cdfg.node(s).map(|d| d.op.is_functional()).unwrap_or(false))
+                .map(|s| alap.get(&s).copied().unwrap_or(latency + 1).saturating_sub(1))
+                .min()
+                .unwrap_or(latency);
+            alap.insert(n, latest);
+        }
+
+        Timing { latency, asap, alap }
+    }
+
+    /// The latency (number of control steps) this analysis was computed for.
+    pub fn latency(&self) -> u32 {
+        self.latency
+    }
+
+    /// ASAP step of `node` (0 for structural nodes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` was not part of the analysed CDFG.
+    pub fn asap(&self, node: NodeId) -> u32 {
+        self.asap[&node]
+    }
+
+    /// ALAP step of `node` (`latency + 1` for structural nodes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` was not part of the analysed CDFG.
+    pub fn alap(&self, node: NodeId) -> u32 {
+        self.alap[&node]
+    }
+
+    /// Mobility (slack) of a functional node: `ALAP - ASAP`.  Zero mobility
+    /// means the node is on the critical path for this latency.  Returns
+    /// `None` when ASAP exceeds ALAP (infeasible node).
+    pub fn mobility(&self, node: NodeId) -> Option<u32> {
+        self.alap(node).checked_sub(self.asap(node))
+    }
+
+    /// Nodes whose ASAP exceeds their ALAP, i.e. nodes that cannot be
+    /// scheduled within the latency.
+    pub fn infeasible_nodes(&self) -> Vec<NodeId> {
+        self.asap
+            .iter()
+            .filter(|(n, &a)| a > 0 && a > self.alap[n])
+            .map(|(&n, _)| n)
+            .collect()
+    }
+
+    /// Returns `true` when every functional node satisfies ASAP ≤ ALAP.
+    pub fn is_feasible(&self) -> bool {
+        self.infeasible_nodes().is_empty()
+    }
+
+    /// Iterates over `(node, asap, alap)` triples for functional nodes.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, u32, u32)> + '_ {
+        self.asap
+            .iter()
+            .filter(|(_, &a)| a > 0)
+            .map(|(&n, &a)| (n, a, self.alap[&n]))
+    }
+
+    /// The minimum latency for which this CDFG is feasible: the maximum ASAP
+    /// over all functional nodes (equals the critical-path length).
+    pub fn min_latency(&self) -> u32 {
+        self.asap.values().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdfg::Op;
+
+    /// Figure 1 / 2 of the paper: |a - b|.
+    fn abs_diff() -> (Cdfg, NodeId, NodeId, NodeId, NodeId) {
+        let mut g = Cdfg::new("abs_diff");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let gt = g.add_op(Op::Gt, &[a, b]).unwrap();
+        let amb = g.add_op(Op::Sub, &[a, b]).unwrap();
+        let bma = g.add_op(Op::Sub, &[b, a]).unwrap();
+        let m = g.add_mux(gt, bma, amb).unwrap();
+        g.add_output("abs", m).unwrap();
+        (g, gt, amb, bma, m)
+    }
+
+    #[test]
+    fn asap_alap_with_two_steps_matches_figure_1() {
+        let (g, gt, amb, bma, m) = abs_diff();
+        let t = Timing::compute(&g, 2);
+        // All three first-level operations are forced into step 1, the mux
+        // into step 2 — the unique schedule of Figure 1.
+        assert_eq!(t.asap(gt), 1);
+        assert_eq!(t.alap(gt), 1);
+        assert_eq!(t.asap(amb), 1);
+        assert_eq!(t.alap(amb), 1);
+        assert_eq!(t.asap(bma), 1);
+        assert_eq!(t.alap(bma), 1);
+        assert_eq!(t.asap(m), 2);
+        assert_eq!(t.alap(m), 2);
+        assert!(t.is_feasible());
+        assert_eq!(t.mobility(gt), Some(0));
+    }
+
+    #[test]
+    fn asap_alap_with_three_steps_has_slack() {
+        let (g, gt, amb, bma, m) = abs_diff();
+        let t = Timing::compute(&g, 3);
+        assert_eq!(t.asap(gt), 1);
+        assert_eq!(t.alap(gt), 2, "comparator may move to step 2");
+        assert_eq!(t.mobility(amb), Some(1));
+        assert_eq!(t.mobility(bma), Some(1));
+        assert_eq!(t.asap(m), 2);
+        assert_eq!(t.alap(m), 3);
+        assert!(t.is_feasible());
+        assert_eq!(t.min_latency(), 2);
+    }
+
+    #[test]
+    fn control_edges_tighten_timing() {
+        let (mut g, gt, amb, bma, _) = abs_diff();
+        // Force both subtractions after the comparator (what the power
+        // management pass does for Figure 2(b)).
+        g.add_control_edge(gt, amb).unwrap();
+        g.add_control_edge(gt, bma).unwrap();
+        let t = Timing::compute(&g, 3);
+        assert_eq!(t.asap(amb), 2);
+        assert_eq!(t.asap(bma), 2);
+        assert_eq!(t.alap(gt), 1, "comparator must now finish in step 1");
+        assert!(t.is_feasible());
+
+        // With only two steps the same constraints are infeasible: the chain
+        // comparator -> subtraction -> mux needs three steps.
+        let t2 = Timing::compute(&g, 2);
+        assert!(!t2.is_feasible());
+        assert!(!t2.infeasible_nodes().is_empty());
+    }
+
+    #[test]
+    fn structural_nodes_are_not_scheduled() {
+        let (g, ..) = abs_diff();
+        let t = Timing::compute(&g, 3);
+        for &input in g.inputs() {
+            assert_eq!(t.asap(input), 0);
+            assert_eq!(t.alap(input), 4);
+        }
+        let functional: Vec<NodeId> = t.iter().map(|(n, _, _)| n).collect();
+        assert_eq!(functional.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "latency must be at least one")]
+    fn zero_latency_panics() {
+        let (g, ..) = abs_diff();
+        let _ = Timing::compute(&g, 0);
+    }
+
+    #[test]
+    fn min_latency_equals_critical_path() {
+        let (g, ..) = abs_diff();
+        let t = Timing::compute(&g, 10);
+        assert_eq!(t.min_latency(), g.critical_path_length());
+    }
+}

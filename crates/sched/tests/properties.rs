@@ -1,0 +1,142 @@
+//! Property-based tests for the scheduling substrate.
+
+use cdfg::{Cdfg, NodeId, Op, OpClass};
+use proptest::prelude::*;
+use sched::hyper::{self, HyperOptions};
+use sched::{force, list, ResourceConstraint, Schedule, Timing};
+
+/// Recipe for a random, always-valid CDFG (mirrors the cdfg crate's
+/// property tests but kept local so the two crates can evolve separately).
+#[derive(Debug, Clone)]
+struct Recipe {
+    num_inputs: usize,
+    steps: Vec<(u8, usize, usize, usize)>,
+    extra_latency: u32,
+}
+
+fn recipe_strategy() -> impl Strategy<Value = Recipe> {
+    (
+        2usize..5,
+        prop::collection::vec((0u8..6, 0usize..64, 0usize..64, 0usize..64), 1..30),
+        0u32..6,
+    )
+        .prop_map(|(num_inputs, steps, extra_latency)| Recipe { num_inputs, steps, extra_latency })
+}
+
+fn build(recipe: &Recipe) -> Cdfg {
+    let mut g = Cdfg::new("random");
+    let mut values: Vec<NodeId> = Vec::new();
+    for i in 0..recipe.num_inputs {
+        values.push(g.add_input(format!("in{i}")));
+    }
+    for &(opcode, a, b, c) in &recipe.steps {
+        let pick = |idx: usize| values[idx % values.len()];
+        let node = match opcode {
+            0 => g.add_op(Op::Add, &[pick(a), pick(b)]).unwrap(),
+            1 => g.add_op(Op::Sub, &[pick(a), pick(b)]).unwrap(),
+            2 => g.add_op(Op::Mul, &[pick(a), pick(b)]).unwrap(),
+            3 => g.add_op(Op::Gt, &[pick(a), pick(b)]).unwrap(),
+            4 => g.add_op(Op::Lt, &[pick(a), pick(b)]).unwrap(),
+            _ => {
+                let sel = g.add_op(Op::Gt, &[pick(a), pick(b)]).unwrap();
+                g.add_mux(sel, pick(b), pick(c)).unwrap()
+            }
+        };
+        values.push(node);
+    }
+    let last = *values.last().expect("nonempty");
+    g.add_output("out", last).unwrap();
+    g
+}
+
+fn check_schedule_matches_timing(_g: &Cdfg, s: &Schedule, t: &Timing) {
+    for (node, step) in s.iter() {
+        assert!(step >= t.asap(node), "node scheduled before its ASAP");
+        assert!(step <= t.alap(node), "node scheduled after its ALAP");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// ASAP is never larger than ALAP when the latency is at least the
+    /// critical path, and mobility grows monotonically with latency.
+    #[test]
+    fn timing_feasible_at_critical_path(recipe in recipe_strategy()) {
+        let g = build(&recipe);
+        let cp = g.critical_path_length().max(1);
+        let t = Timing::compute(&g, cp);
+        prop_assert!(t.is_feasible());
+        let t_more = Timing::compute(&g, cp + recipe.extra_latency + 1);
+        for (n, _, _) in t.iter() {
+            let m0 = t.mobility(n).unwrap();
+            let m1 = t_more.mobility(n).unwrap();
+            prop_assert!(m1 >= m0, "mobility must not shrink when latency grows");
+        }
+    }
+
+    /// Force-directed scheduling always returns a valid schedule within the
+    /// latency, and every assignment lies inside the node's ASAP/ALAP frame.
+    #[test]
+    fn force_directed_schedules_are_valid(recipe in recipe_strategy()) {
+        let g = build(&recipe);
+        let latency = g.critical_path_length().max(1) + recipe.extra_latency;
+        let s = force::schedule(&g, latency).unwrap();
+        prop_assert!(s.validate(&g).is_ok());
+        prop_assert!(s.last_used_step() <= latency);
+        let t = Timing::compute(&g, latency);
+        check_schedule_matches_timing(&g, &s, &t);
+    }
+
+    /// List scheduling under the resource usage derived from force-directed
+    /// scheduling always completes, respects the allocation, and lands close
+    /// to the target latency (greedy list scheduling may exceed it by a
+    /// small margin; the `hyper` entry point papers over that with a
+    /// fallback, covered by `hyper_schedules_validate`).
+    #[test]
+    fn list_schedule_fits_force_directed_allocation(recipe in recipe_strategy()) {
+        let g = build(&recipe);
+        let latency = g.critical_path_length().max(1) + recipe.extra_latency;
+        let allocation = hyper::minimum_resources(&g, latency).unwrap();
+        let constraint = ResourceConstraint::Limited(allocation);
+        let s = list::schedule(&g, &constraint, latency).unwrap();
+        prop_assert!(s.validate_with(&g, &constraint).is_ok());
+        prop_assert!(s.last_used_step() <= latency + 2);
+    }
+
+    /// More latency keeps the heuristic resource requirement essentially
+    /// monotone: per class it may grow by at most one unit (force-directed
+    /// scheduling is a heuristic, not an exact minimiser), and it never
+    /// exceeds the number of operations of that class.
+    #[test]
+    fn resources_monotone_in_latency(recipe in recipe_strategy()) {
+        let g = build(&recipe);
+        let cp = g.critical_path_length().max(1);
+        let tight = hyper::minimum_resources(&g, cp).unwrap();
+        let relaxed = hyper::minimum_resources(&g, cp + 4).unwrap();
+        let counts = g.op_counts();
+        for class in OpClass::FUNCTIONAL {
+            prop_assert!(
+                relaxed.count(class) <= tight.count(class).max(1) + 1,
+                "relaxing latency should not require noticeably more units of {class}"
+            );
+            prop_assert!(relaxed.count(class) <= counts.count(class).max(relaxed.count(class).min(1)));
+        }
+    }
+
+    /// The hyper entry point agrees with validation for both constraint
+    /// modes.
+    #[test]
+    fn hyper_schedules_validate(recipe in recipe_strategy()) {
+        let g = build(&recipe);
+        let latency = g.critical_path_length().max(1) + recipe.extra_latency;
+        let s1 = hyper::schedule(&g, &HyperOptions::with_latency(latency)).unwrap();
+        prop_assert!(s1.validate(&g).is_ok());
+        let alloc = s1.resource_usage(&g);
+        let s2 = hyper::schedule(
+            &g,
+            &HyperOptions::with_resources(latency, ResourceConstraint::Limited(alloc.clone())),
+        ).unwrap();
+        prop_assert!(s2.validate_with(&g, &ResourceConstraint::Limited(alloc)).is_ok());
+    }
+}

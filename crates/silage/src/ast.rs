@@ -1,0 +1,177 @@
+//! Abstract syntax tree of the Silage-like language.
+
+use std::fmt;
+
+/// A whole source file: one or more function definitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// The function definitions in source order.
+    pub functions: Vec<FuncDef>,
+}
+
+/// A function definition: inputs, outputs and a body of single-assignment
+/// statements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncDef {
+    /// Function name.
+    pub name: String,
+    /// Primary inputs.
+    pub params: Vec<Param>,
+    /// Primary outputs.
+    pub outputs: Vec<Param>,
+    /// Body statements in source order.
+    pub body: Vec<Stmt>,
+}
+
+/// A named input or output port with an optional bitwidth annotation
+/// (`name: num[8]`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Param {
+    /// Port name.
+    pub name: String,
+    /// Declared bitwidth; `None` means the design default (8 bits).
+    pub bitwidth: Option<u32>,
+}
+
+/// A single-assignment statement `name = expr;`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stmt {
+    /// Name being defined.
+    pub name: String,
+    /// Defining expression.
+    pub expr: Expr,
+    /// 1-based source line of the statement, for error messages.
+    pub line: u32,
+}
+
+/// Binary operators of the expression language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+impl BinaryOp {
+    /// Returns `true` for comparison operators (which produce a 1-bit
+    /// condition).
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge | BinaryOp::Eq | BinaryOp::Ne
+        )
+    }
+}
+
+impl fmt::Display for BinaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+            BinaryOp::Lt => "<",
+            BinaryOp::Le => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::Ge => ">=",
+            BinaryOp::Eq => "==",
+            BinaryOp::Ne => "!=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// An integer literal.
+    Number(i64),
+    /// A reference to a previously defined name or parameter.
+    Name(String),
+    /// A binary operation.
+    Binary {
+        /// The operator.
+        op: BinaryOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Unary negation.
+    Neg(Box<Expr>),
+    /// A conditional expression `if cond then a else b`, elaborated into a
+    /// multiplexor.
+    If {
+        /// The condition (select).
+        cond: Box<Expr>,
+        /// Value when the condition is non-zero.
+        then_branch: Box<Expr>,
+        /// Value when the condition is zero.
+        else_branch: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// Number of conditional expressions in this tree (each becomes one
+    /// multiplexor).
+    pub fn conditional_count(&self) -> usize {
+        match self {
+            Expr::Number(_) | Expr::Name(_) => 0,
+            Expr::Neg(inner) => inner.conditional_count(),
+            Expr::Binary { lhs, rhs, .. } => lhs.conditional_count() + rhs.conditional_count(),
+            Expr::If { cond, then_branch, else_branch } => {
+                1 + cond.conditional_count()
+                    + then_branch.conditional_count()
+                    + else_branch.conditional_count()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conditional_count_recurses() {
+        let e = Expr::If {
+            cond: Box::new(Expr::Name("c".into())),
+            then_branch: Box::new(Expr::If {
+                cond: Box::new(Expr::Name("d".into())),
+                then_branch: Box::new(Expr::Number(1)),
+                else_branch: Box::new(Expr::Number(2)),
+            }),
+            else_branch: Box::new(Expr::Binary {
+                op: BinaryOp::Add,
+                lhs: Box::new(Expr::Name("a".into())),
+                rhs: Box::new(Expr::Name("b".into())),
+            }),
+        };
+        assert_eq!(e.conditional_count(), 2);
+    }
+
+    #[test]
+    fn comparison_classification() {
+        assert!(BinaryOp::Lt.is_comparison());
+        assert!(BinaryOp::Ne.is_comparison());
+        assert!(!BinaryOp::Add.is_comparison());
+        assert_eq!(BinaryOp::Ge.to_string(), ">=");
+    }
+}

@@ -1,0 +1,209 @@
+//! Elaboration: AST to CDFG.
+//!
+//! Conditional expressions become [`cdfg::Op::Mux`] nodes (select = the
+//! condition, 1-input = the `then` branch, 0-input = the `else` branch),
+//! comparisons become comparator nodes, and arithmetic maps one-to-one onto
+//! the CDFG operation set.  The language is single assignment, so each
+//! statement simply binds its name to the node implementing its expression.
+
+use std::collections::BTreeMap;
+
+use cdfg::{Cdfg, NodeId, Op};
+
+use crate::ast::{BinaryOp, Expr, FuncDef};
+use crate::error::SilageError;
+
+/// Elaborates one function definition into a CDFG.
+///
+/// # Errors
+///
+/// Returns a [`SilageError`] for undefined names, reassignment, duplicate
+/// declarations or unassigned outputs.
+pub fn elaborate(func: &FuncDef) -> Result<Cdfg, SilageError> {
+    // The design bitwidth is the widest declared port (default 8).
+    let bitwidth = func
+        .params
+        .iter()
+        .chain(func.outputs.iter())
+        .filter_map(|p| p.bitwidth)
+        .max()
+        .unwrap_or(8);
+    let mut cdfg = Cdfg::with_bitwidth(&func.name, bitwidth);
+    let mut env: BTreeMap<String, NodeId> = BTreeMap::new();
+
+    for param in &func.params {
+        if env.contains_key(&param.name) {
+            return Err(SilageError::DuplicateDeclaration(param.name.clone()));
+        }
+        let node = cdfg.add_input(&param.name);
+        env.insert(param.name.clone(), node);
+    }
+
+    let mut output_names: Vec<String> = Vec::new();
+    for output in &func.outputs {
+        if output_names.contains(&output.name) || env.contains_key(&output.name) {
+            return Err(SilageError::DuplicateDeclaration(output.name.clone()));
+        }
+        output_names.push(output.name.clone());
+    }
+
+    for stmt in &func.body {
+        if env.contains_key(&stmt.name) {
+            return Err(SilageError::Reassignment { name: stmt.name.clone(), line: stmt.line });
+        }
+        let node = lower_expr(&mut cdfg, &env, &stmt.expr, stmt.line)?;
+        env.insert(stmt.name.clone(), node);
+    }
+
+    for name in &output_names {
+        let node = env
+            .get(name)
+            .copied()
+            .ok_or_else(|| SilageError::UnassignedOutput(name.clone()))?;
+        cdfg.add_output(name, node)?;
+    }
+
+    cdfg.validate()?;
+    Ok(cdfg)
+}
+
+fn lower_expr(
+    cdfg: &mut Cdfg,
+    env: &BTreeMap<String, NodeId>,
+    expr: &Expr,
+    line: u32,
+) -> Result<NodeId, SilageError> {
+    match expr {
+        Expr::Number(n) => Ok(cdfg.add_const(*n)),
+        Expr::Name(name) => env
+            .get(name)
+            .copied()
+            .ok_or_else(|| SilageError::UndefinedName { name: name.clone(), line }),
+        Expr::Neg(inner) => {
+            let value = lower_expr(cdfg, env, inner, line)?;
+            Ok(cdfg.add_op(Op::Neg, &[value])?)
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            let l = lower_expr(cdfg, env, lhs, line)?;
+            let r = lower_expr(cdfg, env, rhs, line)?;
+            let op = match op {
+                BinaryOp::Add => Op::Add,
+                BinaryOp::Sub => Op::Sub,
+                BinaryOp::Mul => Op::Mul,
+                BinaryOp::Div => Op::Div,
+                BinaryOp::Lt => Op::Lt,
+                BinaryOp::Le => Op::Le,
+                BinaryOp::Gt => Op::Gt,
+                BinaryOp::Ge => Op::Ge,
+                BinaryOp::Eq => Op::Eq,
+                BinaryOp::Ne => Op::Ne,
+            };
+            Ok(cdfg.add_op(op, &[l, r])?)
+        }
+        Expr::If { cond, then_branch, else_branch } => {
+            let select = lower_expr(cdfg, env, cond, line)?;
+            let when_true = lower_expr(cdfg, env, then_branch, line)?;
+            let when_false = lower_expr(cdfg, env, else_branch, line)?;
+            Ok(cdfg.add_mux(select, when_false, when_true)?)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use std::collections::BTreeMap as Map;
+
+    fn compile(src: &str) -> Result<Cdfg, SilageError> {
+        let program = parse(src)?;
+        elaborate(&program.functions[0])
+    }
+
+    #[test]
+    fn abs_diff_elaborates_and_evaluates() {
+        let g = compile(
+            "func abs_diff(a, b) -> (abs) { c = a > b; abs = if c then a - b else b - a; }",
+        )
+        .unwrap();
+        assert_eq!(g.op_counts().mux, 1);
+        assert_eq!(g.op_counts().comp, 1);
+        assert_eq!(g.op_counts().sub, 2);
+        let mut inputs = Map::new();
+        inputs.insert("a".to_owned(), 3);
+        inputs.insert("b".to_owned(), 10);
+        assert_eq!(g.evaluate(&inputs)["abs"], 7);
+    }
+
+    #[test]
+    fn bitwidth_annotation_is_honoured() {
+        let g = compile("func f(a: num[16]) -> (o: num[16]) { o = a + 1; }").unwrap();
+        assert_eq!(g.default_bitwidth(), 16);
+    }
+
+    #[test]
+    fn undefined_name_is_reported_with_line() {
+        let err = compile("func f(a) -> (o) {\n o = a + missing;\n}").unwrap_err();
+        assert!(matches!(err, SilageError::UndefinedName { ref name, line: 2 } if name == "missing"));
+    }
+
+    #[test]
+    fn reassignment_is_rejected() {
+        let err = compile("func f(a) -> (o) { o = a; o = a + 1; }").unwrap_err();
+        assert!(matches!(err, SilageError::Reassignment { .. }));
+    }
+
+    #[test]
+    fn unassigned_output_is_rejected() {
+        let err = compile("func f(a) -> (o, p) { o = a + 1; }").unwrap_err();
+        assert_eq!(err, SilageError::UnassignedOutput("p".to_owned()));
+    }
+
+    #[test]
+    fn duplicate_parameter_is_rejected() {
+        let err = compile("func f(a, a) -> (o) { o = a; }").unwrap_err();
+        assert_eq!(err, SilageError::DuplicateDeclaration("a".to_owned()));
+        let err = compile("func f(a) -> (a) { a = 1; }").unwrap_err();
+        assert_eq!(err, SilageError::DuplicateDeclaration("a".to_owned()));
+    }
+
+    #[test]
+    fn nested_conditionals_build_nested_muxes() {
+        let g = compile(
+            "func f(a, b) -> (o) { o = if a > b then (if a == b then a + b else a - b) else a * b; }",
+        )
+        .unwrap();
+        assert_eq!(g.op_counts().mux, 2);
+        assert_eq!(g.op_counts().comp, 2);
+        let mut inputs = Map::new();
+        inputs.insert("a".to_owned(), 5);
+        inputs.insert("b".to_owned(), 2);
+        // a > b, a != b -> a - b
+        assert_eq!(g.evaluate(&inputs)["o"], 3);
+        inputs.insert("a".to_owned(), 1);
+        // a <= b -> a * b
+        assert_eq!(g.evaluate(&inputs)["o"], 2);
+    }
+
+    #[test]
+    fn negation_and_constants() {
+        let g = compile("func f(a) -> (o) { o = -a + 10; }").unwrap();
+        let mut inputs = Map::new();
+        inputs.insert("a".to_owned(), 4);
+        assert_eq!(g.evaluate(&inputs)["o"], 6);
+    }
+
+    #[test]
+    fn intermediate_values_can_be_shared() {
+        let g = compile(
+            "func f(a, b) -> (o) { s = a + b; c = s > b; o = if c then s else b; }",
+        )
+        .unwrap();
+        // The addition feeds both the comparison and the mux data input.
+        assert_eq!(g.op_counts().add, 1);
+        let mut inputs = Map::new();
+        inputs.insert("a".to_owned(), 2);
+        inputs.insert("b".to_owned(), 3);
+        assert_eq!(g.evaluate(&inputs)["o"], 5);
+    }
+}

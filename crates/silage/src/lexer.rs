@@ -1,0 +1,253 @@
+//! Hand-written lexer for the Silage-like language.
+
+use crate::error::SilageError;
+use crate::token::{Token, TokenKind};
+
+/// Splits `source` into tokens, terminated by an [`TokenKind::Eof`] token.
+///
+/// Comments start with `#` or `//` and run to the end of the line.
+///
+/// # Errors
+///
+/// Returns [`SilageError::UnexpectedChar`] for characters outside the
+/// language and [`SilageError::NumberTooLarge`] for oversized literals.
+pub fn tokenize(source: &str) -> Result<Vec<Token>, SilageError> {
+    let mut tokens = Vec::new();
+    let mut chars = source.chars().peekable();
+    let mut line: u32 = 1;
+
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '#' => {
+                while let Some(&c) = chars.peek() {
+                    if c == '\n' {
+                        break;
+                    }
+                    chars.next();
+                }
+            }
+            '/' => {
+                chars.next();
+                if chars.peek() == Some(&'/') {
+                    while let Some(&c) = chars.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        chars.next();
+                    }
+                } else {
+                    tokens.push(Token { kind: TokenKind::Slash, line });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut value: i64 = 0;
+                while let Some(&d) = chars.peek() {
+                    if let Some(digit) = d.to_digit(10) {
+                        value = value
+                            .checked_mul(10)
+                            .and_then(|v| v.checked_add(i64::from(digit)))
+                            .ok_or(SilageError::NumberTooLarge { line })?;
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Number(value), line });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut ident = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        ident.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let kind = match ident.as_str() {
+                    "func" => TokenKind::Func,
+                    "if" => TokenKind::If,
+                    "then" => TokenKind::Then,
+                    "else" => TokenKind::Else,
+                    "num" => TokenKind::Num,
+                    _ => TokenKind::Ident(ident),
+                };
+                tokens.push(Token { kind, line });
+            }
+            '(' => push_simple(&mut tokens, &mut chars, TokenKind::LParen, line),
+            ')' => push_simple(&mut tokens, &mut chars, TokenKind::RParen, line),
+            '{' => push_simple(&mut tokens, &mut chars, TokenKind::LBrace, line),
+            '}' => push_simple(&mut tokens, &mut chars, TokenKind::RBrace, line),
+            '[' => push_simple(&mut tokens, &mut chars, TokenKind::LBracket, line),
+            ']' => push_simple(&mut tokens, &mut chars, TokenKind::RBracket, line),
+            ',' => push_simple(&mut tokens, &mut chars, TokenKind::Comma, line),
+            ';' => push_simple(&mut tokens, &mut chars, TokenKind::Semicolon, line),
+            ':' => push_simple(&mut tokens, &mut chars, TokenKind::Colon, line),
+            '+' => push_simple(&mut tokens, &mut chars, TokenKind::Plus, line),
+            '*' => push_simple(&mut tokens, &mut chars, TokenKind::Star, line),
+            '-' => {
+                chars.next();
+                if chars.peek() == Some(&'>') {
+                    chars.next();
+                    tokens.push(Token { kind: TokenKind::Arrow, line });
+                } else {
+                    tokens.push(Token { kind: TokenKind::Minus, line });
+                }
+            }
+            '<' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    tokens.push(Token { kind: TokenKind::Le, line });
+                } else {
+                    tokens.push(Token { kind: TokenKind::Lt, line });
+                }
+            }
+            '>' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    tokens.push(Token { kind: TokenKind::Ge, line });
+                } else {
+                    tokens.push(Token { kind: TokenKind::Gt, line });
+                }
+            }
+            '=' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    tokens.push(Token { kind: TokenKind::EqEq, line });
+                } else {
+                    tokens.push(Token { kind: TokenKind::Assign, line });
+                }
+            }
+            '!' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    tokens.push(Token { kind: TokenKind::NotEq, line });
+                } else {
+                    return Err(SilageError::UnexpectedChar { ch: '!', line });
+                }
+            }
+            other => return Err(SilageError::UnexpectedChar { ch: other, line }),
+        }
+    }
+
+    tokens.push(Token { kind: TokenKind::Eof, line });
+    Ok(tokens)
+}
+
+fn push_simple(
+    tokens: &mut Vec<Token>,
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    kind: TokenKind,
+    line: u32,
+) {
+    chars.next();
+    tokens.push(Token { kind, line });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(source: &str) -> Vec<TokenKind> {
+        tokenize(source).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_keywords_idents_and_numbers() {
+        let toks = kinds("func f(a) -> (b) { b = if a then 1 else 2; }");
+        assert!(toks.contains(&TokenKind::Func));
+        assert!(toks.contains(&TokenKind::If));
+        assert!(toks.contains(&TokenKind::Then));
+        assert!(toks.contains(&TokenKind::Else));
+        assert!(toks.contains(&TokenKind::Ident("f".into())));
+        assert!(toks.contains(&TokenKind::Number(2)));
+        assert_eq!(*toks.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn lexes_operators() {
+        assert_eq!(
+            kinds("a <= b >= c == d != e < f > g"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Le,
+                TokenKind::Ident("b".into()),
+                TokenKind::Ge,
+                TokenKind::Ident("c".into()),
+                TokenKind::EqEq,
+                TokenKind::Ident("d".into()),
+                TokenKind::NotEq,
+                TokenKind::Ident("e".into()),
+                TokenKind::Lt,
+                TokenKind::Ident("f".into()),
+                TokenKind::Gt,
+                TokenKind::Ident("g".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn arrow_vs_minus() {
+        assert_eq!(
+            kinds("a - b -> c"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Minus,
+                TokenKind::Ident("b".into()),
+                TokenKind::Arrow,
+                TokenKind::Ident("c".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped_and_lines_tracked() {
+        let toks = tokenize("# comment\n// another\n  x = 1;\n").unwrap();
+        assert_eq!(toks[0].kind, TokenKind::Ident("x".into()));
+        assert_eq!(toks[0].line, 3);
+    }
+
+    #[test]
+    fn unexpected_character_is_reported_with_line() {
+        let err = tokenize("a = 1;\nb = $;\n").unwrap_err();
+        assert_eq!(err, SilageError::UnexpectedChar { ch: '$', line: 2 });
+    }
+
+    #[test]
+    fn bare_bang_is_rejected() {
+        let err = tokenize("a ! b").unwrap_err();
+        assert!(matches!(err, SilageError::UnexpectedChar { ch: '!', .. }));
+    }
+
+    #[test]
+    fn oversized_number_is_rejected() {
+        let err = tokenize("99999999999999999999999").unwrap_err();
+        assert!(matches!(err, SilageError::NumberTooLarge { .. }));
+    }
+
+    #[test]
+    fn slash_is_division_unless_doubled() {
+        assert_eq!(
+            kinds("a / b"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Slash,
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+}

@@ -1,0 +1,328 @@
+//! Recursive-descent parser for the Silage-like language.
+
+use crate::ast::{BinaryOp, Expr, FuncDef, Param, Program, Stmt};
+use crate::error::SilageError;
+use crate::lexer::tokenize;
+use crate::token::{Token, TokenKind};
+
+/// Parses a complete source file.
+///
+/// # Errors
+///
+/// Returns a [`SilageError`] describing the first lexical or syntactic
+/// problem.
+pub fn parse(source: &str) -> Result<Program, SilageError> {
+    let tokens = tokenize(source)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    parser.program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn advance(&mut self) -> Token {
+        let tok = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        tok
+    }
+
+    fn expect(&mut self, kind: &TokenKind, expected: &str) -> Result<Token, SilageError> {
+        if &self.peek().kind == kind {
+            Ok(self.advance())
+        } else {
+            Err(self.unexpected(expected))
+        }
+    }
+
+    fn unexpected(&self, expected: &str) -> SilageError {
+        SilageError::UnexpectedToken {
+            expected: expected.to_owned(),
+            found: self.peek().kind.clone(),
+            line: self.peek().line,
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, SilageError> {
+        let mut functions = Vec::new();
+        while self.peek().kind != TokenKind::Eof {
+            functions.push(self.function()?);
+        }
+        if functions.is_empty() {
+            return Err(SilageError::EmptyProgram);
+        }
+        Ok(Program { functions })
+    }
+
+    fn function(&mut self) -> Result<FuncDef, SilageError> {
+        self.expect(&TokenKind::Func, "`func`")?;
+        let name = self.ident("function name")?;
+        self.expect(&TokenKind::LParen, "`(`")?;
+        let params = self.param_list(TokenKind::RParen)?;
+        self.expect(&TokenKind::RParen, "`)`")?;
+        self.expect(&TokenKind::Arrow, "`->`")?;
+        self.expect(&TokenKind::LParen, "`(`")?;
+        let outputs = self.param_list(TokenKind::RParen)?;
+        self.expect(&TokenKind::RParen, "`)`")?;
+        self.expect(&TokenKind::LBrace, "`{`")?;
+        let mut body = Vec::new();
+        while self.peek().kind != TokenKind::RBrace {
+            body.push(self.statement()?);
+        }
+        self.expect(&TokenKind::RBrace, "`}`")?;
+        Ok(FuncDef { name, params, outputs, body })
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, SilageError> {
+        match &self.peek().kind {
+            TokenKind::Ident(name) => {
+                let name = name.clone();
+                self.advance();
+                Ok(name)
+            }
+            _ => Err(self.unexpected(what)),
+        }
+    }
+
+    fn param_list(&mut self, terminator: TokenKind) -> Result<Vec<Param>, SilageError> {
+        let mut params = Vec::new();
+        if self.peek().kind == terminator {
+            return Ok(params);
+        }
+        loop {
+            params.push(self.param()?);
+            if self.peek().kind == TokenKind::Comma {
+                self.advance();
+            } else {
+                break;
+            }
+        }
+        Ok(params)
+    }
+
+    fn param(&mut self) -> Result<Param, SilageError> {
+        let name = self.ident("parameter name")?;
+        let mut bitwidth = None;
+        if self.peek().kind == TokenKind::Colon {
+            self.advance();
+            self.expect(&TokenKind::Num, "`num`")?;
+            if self.peek().kind == TokenKind::LBracket {
+                self.advance();
+                match self.peek().kind {
+                    TokenKind::Number(n) if n > 0 && n <= 64 => {
+                        bitwidth = Some(n as u32);
+                        self.advance();
+                    }
+                    _ => return Err(self.unexpected("a bitwidth between 1 and 64")),
+                }
+                self.expect(&TokenKind::RBracket, "`]`")?;
+            }
+        }
+        Ok(Param { name, bitwidth })
+    }
+
+    fn statement(&mut self) -> Result<Stmt, SilageError> {
+        let line = self.peek().line;
+        let name = self.ident("a statement (`name = expr;`)")?;
+        self.expect(&TokenKind::Assign, "`=`")?;
+        let expr = self.expression()?;
+        self.expect(&TokenKind::Semicolon, "`;`")?;
+        Ok(Stmt { name, expr, line })
+    }
+
+    fn expression(&mut self) -> Result<Expr, SilageError> {
+        if self.peek().kind == TokenKind::If {
+            self.advance();
+            let cond = self.expression()?;
+            self.expect(&TokenKind::Then, "`then`")?;
+            let then_branch = self.expression()?;
+            self.expect(&TokenKind::Else, "`else`")?;
+            let else_branch = self.expression()?;
+            return Ok(Expr::If {
+                cond: Box::new(cond),
+                then_branch: Box::new(then_branch),
+                else_branch: Box::new(else_branch),
+            });
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Expr, SilageError> {
+        let lhs = self.additive()?;
+        let op = match self.peek().kind {
+            TokenKind::Lt => Some(BinaryOp::Lt),
+            TokenKind::Le => Some(BinaryOp::Le),
+            TokenKind::Gt => Some(BinaryOp::Gt),
+            TokenKind::Ge => Some(BinaryOp::Ge),
+            TokenKind::EqEq => Some(BinaryOp::Eq),
+            TokenKind::NotEq => Some(BinaryOp::Ne),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.advance();
+            let rhs = self.additive()?;
+            Ok(Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) })
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn additive(&mut self) -> Result<Expr, SilageError> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Plus => BinaryOp::Add,
+                TokenKind::Minus => BinaryOp::Sub,
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.multiplicative()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, SilageError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Star => BinaryOp::Mul,
+                TokenKind::Slash => BinaryOp::Div,
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.unary()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, SilageError> {
+        if self.peek().kind == TokenKind::Minus {
+            self.advance();
+            let inner = self.unary()?;
+            return Ok(Expr::Neg(Box::new(inner)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, SilageError> {
+        match self.peek().kind.clone() {
+            TokenKind::Number(n) => {
+                self.advance();
+                Ok(Expr::Number(n))
+            }
+            TokenKind::Ident(name) => {
+                self.advance();
+                Ok(Expr::Name(name))
+            }
+            TokenKind::LParen => {
+                self.advance();
+                let inner = self.expression()?;
+                self.expect(&TokenKind::RParen, "`)`")?;
+                Ok(inner)
+            }
+            TokenKind::If => self.expression(),
+            _ => Err(self.unexpected("an expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ABS_DIFF: &str = r#"
+        func abs_diff(a: num[8], b: num[8]) -> (abs: num[8]) {
+            c   = a > b;
+            abs = if c then a - b else b - a;
+        }
+    "#;
+
+    #[test]
+    fn parses_abs_diff() {
+        let program = parse(ABS_DIFF).unwrap();
+        assert_eq!(program.functions.len(), 1);
+        let f = &program.functions[0];
+        assert_eq!(f.name, "abs_diff");
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.params[0].bitwidth, Some(8));
+        assert_eq!(f.outputs.len(), 1);
+        assert_eq!(f.body.len(), 2);
+        assert_eq!(f.body[1].expr.conditional_count(), 1);
+    }
+
+    #[test]
+    fn parses_precedence() {
+        let program = parse("func f(a, b, c) -> (o) { o = a + b * c - 1; }").unwrap();
+        let expr = &program.functions[0].body[0].expr;
+        // ((a + (b*c)) - 1)
+        match expr {
+            Expr::Binary { op: BinaryOp::Sub, lhs, .. } => match lhs.as_ref() {
+                Expr::Binary { op: BinaryOp::Add, rhs, .. } => {
+                    assert!(matches!(rhs.as_ref(), Expr::Binary { op: BinaryOp::Mul, .. }));
+                }
+                other => panic!("unexpected lhs {other:?}"),
+            },
+            other => panic!("unexpected expr {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_nested_conditionals_and_parens() {
+        let src = "func f(a, b) -> (o) { o = if a > b then (if a == b then 1 else 2) else a * (b + 1); }";
+        let program = parse(src).unwrap();
+        assert_eq!(program.functions[0].body[0].expr.conditional_count(), 2);
+    }
+
+    #[test]
+    fn parses_unary_negation() {
+        let program = parse("func f(a) -> (o) { o = -a + 1; }").unwrap();
+        let expr = &program.functions[0].body[0].expr;
+        assert!(matches!(expr, Expr::Binary { op: BinaryOp::Add, .. }));
+    }
+
+    #[test]
+    fn parses_multiple_functions() {
+        let src = "func f(a) -> (o) { o = a + 1; } func g(b) -> (p) { p = b - 1; }";
+        let program = parse(src).unwrap();
+        assert_eq!(program.functions.len(), 2);
+        assert_eq!(program.functions[1].name, "g");
+    }
+
+    #[test]
+    fn missing_semicolon_is_reported() {
+        let err = parse("func f(a) -> (o) { o = a + 1 }").unwrap_err();
+        match err {
+            SilageError::UnexpectedToken { expected, .. } => assert!(expected.contains(";")),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_source_is_reported() {
+        assert_eq!(parse("  \n# nothing\n").unwrap_err(), SilageError::EmptyProgram);
+    }
+
+    #[test]
+    fn bad_bitwidth_is_reported() {
+        let err = parse("func f(a: num[0]) -> (o) { o = a; }").unwrap_err();
+        assert!(matches!(err, SilageError::UnexpectedToken { .. }));
+        let err = parse("func f(a: num[128]) -> (o) { o = a; }").unwrap_err();
+        assert!(matches!(err, SilageError::UnexpectedToken { .. }));
+    }
+
+    #[test]
+    fn empty_parameter_list_is_allowed() {
+        let program = parse("func f() -> (o) { o = 1 + 2; }").unwrap();
+        assert!(program.functions[0].params.is_empty());
+    }
+}

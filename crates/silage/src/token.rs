@@ -1,0 +1,125 @@
+//! Tokens of the Silage-like language.
+
+use std::fmt;
+
+/// A lexical token together with the line it starts on (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based source line, used in error messages.
+    pub line: u32,
+}
+
+/// The kinds of token the lexer produces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TokenKind {
+    /// An identifier (name of a function, parameter or value).
+    Ident(String),
+    /// An integer literal.
+    Number(i64),
+    /// The `func` keyword.
+    Func,
+    /// The `if` keyword.
+    If,
+    /// The `then` keyword.
+    Then,
+    /// The `else` keyword.
+    Else,
+    /// The `num` type keyword.
+    Num,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semicolon,
+    /// `:`
+    Colon,
+    /// `=`
+    Assign,
+    /// `->`
+    Arrow,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Number(n) => write!(f, "number `{n}`"),
+            TokenKind::Func => f.write_str("`func`"),
+            TokenKind::If => f.write_str("`if`"),
+            TokenKind::Then => f.write_str("`then`"),
+            TokenKind::Else => f.write_str("`else`"),
+            TokenKind::Num => f.write_str("`num`"),
+            TokenKind::LParen => f.write_str("`(`"),
+            TokenKind::RParen => f.write_str("`)`"),
+            TokenKind::LBrace => f.write_str("`{`"),
+            TokenKind::RBrace => f.write_str("`}`"),
+            TokenKind::LBracket => f.write_str("`[`"),
+            TokenKind::RBracket => f.write_str("`]`"),
+            TokenKind::Comma => f.write_str("`,`"),
+            TokenKind::Semicolon => f.write_str("`;`"),
+            TokenKind::Colon => f.write_str("`:`"),
+            TokenKind::Assign => f.write_str("`=`"),
+            TokenKind::Arrow => f.write_str("`->`"),
+            TokenKind::Plus => f.write_str("`+`"),
+            TokenKind::Minus => f.write_str("`-`"),
+            TokenKind::Star => f.write_str("`*`"),
+            TokenKind::Slash => f.write_str("`/`"),
+            TokenKind::Lt => f.write_str("`<`"),
+            TokenKind::Le => f.write_str("`<=`"),
+            TokenKind::Gt => f.write_str("`>`"),
+            TokenKind::Ge => f.write_str("`>=`"),
+            TokenKind::EqEq => f.write_str("`==`"),
+            TokenKind::NotEq => f.write_str("`!=`"),
+            TokenKind::Eof => f.write_str("end of input"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_descriptive() {
+        assert_eq!(TokenKind::Ident("abc".into()).to_string(), "identifier `abc`");
+        assert_eq!(TokenKind::Number(42).to_string(), "number `42`");
+        assert_eq!(TokenKind::Arrow.to_string(), "`->`");
+        assert_eq!(TokenKind::Eof.to_string(), "end of input");
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based tests for the Silage-like frontend: randomly generated
+//! programs always lex, parse and elaborate, and the elaborated CDFG agrees
+//! with a direct interpretation of the AST.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use silage::{parser, BinaryOp, Expr};
+
+/// A random expression over a fixed set of input names, kept small so the
+/// generated programs stay readable in failure reports.
+fn expr_strategy() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        Just("a".to_owned()),
+        Just("b".to_owned()),
+        Just("c".to_owned()),
+        (0i64..100).prop_map(|n| n.to_string()),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| format!("({l} + {r})")),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| format!("({l} - {r})")),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| format!("({l} * {r})")),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(c, t, e)| format!("(if {c} > {t} then {t} else {e})")),
+            inner.clone().prop_map(|e| format!("(-{e})")),
+        ]
+    })
+}
+
+/// A random program with one to three statements, the last of which defines
+/// the output.
+fn program_strategy() -> impl Strategy<Value = String> {
+    prop::collection::vec(expr_strategy(), 1..4).prop_map(|exprs| {
+        let mut body = String::new();
+        for (i, expr) in exprs.iter().enumerate() {
+            body.push_str(&format!("    t{i} = {expr};\n"));
+        }
+        let last = exprs.len() - 1;
+        body.push_str(&format!("    y = t{last} + 0;\n"));
+        format!("func generated(a, b, c) -> (y) {{\n{body}}}\n")
+    })
+}
+
+/// Interprets an AST expression directly, mirroring the semantics the CDFG
+/// elaboration is supposed to implement.
+fn interpret(expr: &Expr, env: &BTreeMap<String, i64>) -> i64 {
+    match expr {
+        Expr::Number(n) => *n,
+        Expr::Name(name) => env[name],
+        Expr::Neg(inner) => interpret(inner, env).wrapping_neg(),
+        Expr::Binary { op, lhs, rhs } => {
+            let l = interpret(lhs, env);
+            let r = interpret(rhs, env);
+            match op {
+                BinaryOp::Add => l.wrapping_add(r),
+                BinaryOp::Sub => l.wrapping_sub(r),
+                BinaryOp::Mul => l.wrapping_mul(r),
+                BinaryOp::Div => {
+                    if r == 0 {
+                        0
+                    } else {
+                        l.wrapping_div(r)
+                    }
+                }
+                BinaryOp::Lt => i64::from(l < r),
+                BinaryOp::Le => i64::from(l <= r),
+                BinaryOp::Gt => i64::from(l > r),
+                BinaryOp::Ge => i64::from(l >= r),
+                BinaryOp::Eq => i64::from(l == r),
+                BinaryOp::Ne => i64::from(l != r),
+            }
+        }
+        Expr::If { cond, then_branch, else_branch } => {
+            if interpret(cond, env) != 0 {
+                interpret(then_branch, env)
+            } else {
+                interpret(else_branch, env)
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every generated program compiles to a structurally valid CDFG whose
+    /// multiplexor count equals the number of conditionals in the source.
+    #[test]
+    fn generated_programs_compile(source in program_strategy()) {
+        let program = parser::parse(&source).unwrap();
+        let conditionals: usize = program.functions[0]
+            .body
+            .iter()
+            .map(|s| s.expr.conditional_count())
+            .sum();
+        let cdfg = silage::compile(&source).unwrap();
+        prop_assert!(cdfg.validate().is_ok());
+        prop_assert_eq!(cdfg.op_counts().mux, conditionals);
+        prop_assert_eq!(cdfg.inputs().len(), 3);
+        prop_assert_eq!(cdfg.outputs().len(), 1);
+    }
+
+    /// The elaborated CDFG computes the same value as a direct interpretation
+    /// of the AST for arbitrary inputs.
+    #[test]
+    fn elaboration_preserves_semantics(source in program_strategy(), a in -50i64..50, b in -50i64..50, c in -50i64..50) {
+        let program = parser::parse(&source).unwrap();
+        let func = &program.functions[0];
+        let cdfg = silage::compile(&source).unwrap();
+
+        let mut env = BTreeMap::new();
+        env.insert("a".to_owned(), a);
+        env.insert("b".to_owned(), b);
+        env.insert("c".to_owned(), c);
+
+        // Interpret the statements in order under single-assignment rules.
+        let mut ast_env = env.clone();
+        for stmt in &func.body {
+            let value = interpret(&stmt.expr, &ast_env);
+            ast_env.insert(stmt.name.clone(), value);
+        }
+        let expected = ast_env["y"];
+
+        let outputs = cdfg.evaluate(&env);
+        prop_assert_eq!(outputs["y"], expected);
+    }
+
+    /// Pretty-printing whitespace and comments never changes the parsed
+    /// structure (the lexer is insensitive to layout; only the recorded line
+    /// numbers move).
+    #[test]
+    fn layout_is_irrelevant(source in program_strategy()) {
+        let spaced = source.replace(';', " ;\n  # trailing comment\n");
+        let original = parser::parse(&source).unwrap();
+        let respaced = parser::parse(&spaced).unwrap();
+        let strip = |p: &silage::Program| -> Vec<(String, Expr)> {
+            p.functions[0]
+                .body
+                .iter()
+                .map(|s| (s.name.clone(), s.expr.clone()))
+                .collect()
+        };
+        prop_assert_eq!(strip(&original), strip(&respaced));
+        prop_assert_eq!(&original.functions[0].params, &respaced.functions[0].params);
+        prop_assert_eq!(&original.functions[0].outputs, &respaced.functions[0].outputs);
+    }
+}

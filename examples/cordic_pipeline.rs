@@ -1,0 +1,53 @@
+//! Pipelining as a power-management enabler (Section IV-B) on a CORDIC
+//! rotator.
+//!
+//! In a CORDIC iteration the direction comparison naturally precedes the
+//! conditional add/subtract pairs, so even at the critical-path throughput
+//! most multiplexors are already manageable; the example shows that adding
+//! pipeline stages preserves those savings while the throughput constraint
+//! stays fixed, at the cost of latency and pipeline registers.  (For designs
+//! whose conditions sit on the critical path — e.g. `dealer` — the extra
+//! stages also unlock additional managed multiplexors; see the
+//! `ablation_pipeline` binary.)
+//!
+//! Run with `cargo run -p experiments --example cordic_pipeline`.
+
+use std::error::Error;
+
+use circuits::cordic_with_iterations;
+use pmsched::pipeline::power_manage_pipelined;
+use pmsched::PowerManagementOptions;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // A 6-iteration CORDIC keeps the example fast; the full benchmark uses
+    // 16 iterations (see `circuits::cordic`).
+    let cdfg = cordic_with_iterations(6);
+    let critical_path = cdfg.critical_path_length();
+    println!("cordic (6 iterations): {}", cdfg.op_counts());
+    println!("critical path / throughput constraint: {critical_path} control steps\n");
+
+    println!(
+        "{:<7} {:>15} {:>9} {:>12} {:>15}",
+        "stages", "steps per sample", "PM muxes", "savings (%)", "extra registers"
+    );
+    let options = PowerManagementOptions::with_latency(critical_path);
+    for stages in 1..=3u32 {
+        let report = power_manage_pipelined(&cdfg, &options, stages)?;
+        println!(
+            "{:<7} {:>15} {:>9} {:>12.2} {:>15}",
+            stages,
+            report.effective_latency,
+            report.result.managed_mux_count(),
+            report.reduction_percent(),
+            report.extra_registers
+        );
+    }
+
+    println!(
+        "\nThe price of pipelining is latency ({}x the sample period) and the\n\
+         pipeline registers listed above — exactly the trade-off Section IV-B\n\
+         of the paper describes.",
+        3
+    );
+    Ok(())
+}

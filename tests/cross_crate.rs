@@ -1,0 +1,159 @@
+//! Cross-crate consistency tests: quantities that are computed independently
+//! in different crates must agree with each other.
+
+use binding::{AreaModel, Datapath, FuBinding, RegisterAllocation};
+use cdfg::OpClass;
+use pmsched::{power_manage, PowerManagementOptions, SelectProbabilities};
+use rtl::{Controller, GateModel, Simulator};
+use sched::hyper::{self, HyperOptions};
+use power::RandomVectors;
+
+#[test]
+fn schedule_resource_usage_matches_fu_binding_everywhere() {
+    for bench in circuits::all_benchmarks() {
+        if bench.name == "cordic" {
+            continue; // covered by the dedicated cordic test below
+        }
+        for &steps in &bench.control_steps {
+            let schedule = hyper::schedule(&bench.cdfg, &HyperOptions::with_latency(steps)).unwrap();
+            let usage = schedule.resource_usage(&bench.cdfg);
+            let binding = FuBinding::bind(&bench.cdfg, &schedule).unwrap();
+            for class in OpClass::FUNCTIONAL {
+                assert_eq!(
+                    usage.count(class),
+                    binding.unit_count(class),
+                    "{} @ {}: {class}",
+                    bench.name,
+                    steps
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn cordic_binding_matches_schedule_usage() {
+    let cdfg = circuits::cordic();
+    let schedule = hyper::schedule(&cdfg, &HyperOptions::with_latency(48)).unwrap();
+    let usage = schedule.resource_usage(&cdfg);
+    let binding = FuBinding::bind(&cdfg, &schedule).unwrap();
+    for class in OpClass::FUNCTIONAL {
+        assert_eq!(usage.count(class), binding.unit_count(class), "{class}");
+    }
+}
+
+#[test]
+fn register_allocation_covers_every_multi_step_value() {
+    let cdfg = circuits::vender();
+    let result = power_manage(&cdfg, &PowerManagementOptions::with_latency(6)).unwrap();
+    let alloc = RegisterAllocation::allocate(result.cdfg(), result.schedule()).unwrap();
+    for lifetime in alloc.lifetimes() {
+        if lifetime.needs_register() {
+            assert!(
+                alloc.register_of(lifetime.value).is_some(),
+                "value {} lives across steps but has no register",
+                lifetime.value
+            );
+        }
+    }
+}
+
+#[test]
+fn activation_analysis_matches_simulated_gating_frequencies() {
+    // The probabilistic activation analysis (Table II) and the RTL simulator
+    // (Table III) must agree on *which* operations are gated; and for
+    // comparison-driven muxes on uniform random inputs, the observed gating
+    // frequency must be close to the predicted probability.
+    let cdfg = circuits::vender();
+    let result = power_manage(&cdfg, &PowerManagementOptions::with_latency(6)).unwrap();
+    let activation = result.activation(&SelectProbabilities::fair());
+    let controller = Controller::generate(&result);
+    let mut sim = Simulator::new(result.cdfg(), result.schedule(), &controller).unwrap();
+
+    let samples = 600;
+    let mut gated_counts: std::collections::BTreeMap<cdfg::NodeId, u64> = Default::default();
+    for sample in RandomVectors::new(&cdfg, 42).samples(samples) {
+        let run = sim.run_sample(&sample).unwrap();
+        for node in run.gated {
+            *gated_counts.entry(node).or_insert(0) += 1;
+        }
+    }
+
+    for node in activation.gated_nodes() {
+        let observed = *gated_counts.get(&node).unwrap_or(&0) as f64 / samples as f64;
+        let predicted_gated = 1.0 - activation.probability(node);
+        // Greater-than comparisons of uniform 8-bit inputs are very close to
+        // fair, so prediction and observation should agree within 15 points.
+        assert!(
+            (observed - predicted_gated).abs() < 0.15,
+            "node {node}: observed gating {observed:.2}, predicted {predicted_gated:.2}"
+        );
+    }
+    // And nothing outside the predicted set was ever gated.
+    for (node, count) in &gated_counts {
+        assert!(
+            activation.gated_nodes().contains(node) || *count == 0,
+            "unexpected gating of {node}"
+        );
+    }
+}
+
+#[test]
+fn area_models_agree_on_relative_ordering() {
+    // The datapath-level area model (binding crate) and the gate-level model
+    // (rtl crate) are different abstractions, but they must order designs
+    // the same way.
+    let small = circuits::dealer();
+    let large = circuits::vender();
+    let small_result = power_manage(&small, &PowerManagementOptions::with_latency(5)).unwrap();
+    let large_result = power_manage(&large, &PowerManagementOptions::with_latency(6)).unwrap();
+
+    let small_dp = Datapath::build(small_result.cdfg(), small_result.schedule()).unwrap();
+    let large_dp = Datapath::build(large_result.cdfg(), large_result.schedule()).unwrap();
+
+    let area_model = AreaModel::new();
+    let gate_model = GateModel::new();
+    let small_ctrl = Controller::generate(&small_result);
+    let large_ctrl = Controller::generate(&large_result);
+
+    let small_area = area_model.estimate(&small_dp).total();
+    let large_area = area_model.estimate(&large_dp).total();
+    let small_gates = gate_model.expand(&small_dp, &small_ctrl).total();
+    let large_gates = gate_model.expand(&large_dp, &large_ctrl).total();
+
+    assert!(large_area > small_area, "vender is bigger than dealer at datapath level");
+    assert!(large_gates > small_gates, "vender is bigger than dealer at gate level");
+}
+
+#[test]
+fn controller_gating_terms_match_managed_mux_records() {
+    let cdfg = circuits::gcd();
+    let result = power_manage(&cdfg, &PowerManagementOptions::with_latency(7)).unwrap();
+    let controller = Controller::generate(&result);
+    // Every gating term's condition must be the select driver of a recorded
+    // managed mux, and the gated node must be in that mux's shutdown sets.
+    for enable in controller.enables() {
+        for cond in &enable.conditions {
+            let mm = result
+                .managed_muxes()
+                .iter()
+                .find(|m| m.mux == cond.mux)
+                .expect("gating mux is recorded");
+            assert_eq!(mm.select_driver, cond.condition);
+            let in_true = mm.shutdown_true.contains(&enable.node);
+            let in_false = mm.shutdown_false.contains(&enable.node);
+            assert!(in_true || in_false);
+            assert_eq!(cond.active_when_one, in_true);
+        }
+    }
+}
+
+#[test]
+fn silage_and_builder_paths_produce_equivalent_power_results() {
+    let from_source = silage::compile(circuits::abs_diff_silage_source()).unwrap();
+    let from_builder = circuits::abs_diff();
+    let a = power_manage(&from_source, &PowerManagementOptions::with_latency(3)).unwrap();
+    let b = power_manage(&from_builder, &PowerManagementOptions::with_latency(3)).unwrap();
+    assert_eq!(a.managed_mux_count(), b.managed_mux_count());
+    assert!((a.savings().reduction_percent - b.savings().reduction_percent).abs() < 1e-9);
+}

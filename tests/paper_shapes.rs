@@ -1,0 +1,136 @@
+//! Integration tests asserting the qualitative claims of the paper hold on
+//! this reproduction: every table/figure shape, the headline "up to 40%"
+//! claim, and the Section IV extensions.
+
+use experiments::ablation::{pipeline_ablation, reorder_ablation};
+use experiments::figures::{figure1, figure2};
+use experiments::{table1, table2, table3};
+
+#[test]
+fn table1_rows_match_the_paper_verbatim() {
+    let rows = table1::table1();
+    let expected = [
+        ("dealer", 4u32, [3usize, 3, 2, 1, 0]),
+        ("gcd", 5, [6, 2, 0, 1, 0]),
+        ("vender", 5, [6, 3, 3, 3, 2]),
+        ("cordic", 48, [47, 16, 43, 46, 0]),
+    ];
+    for (row, (name, cp, ops)) in rows.iter().zip(expected) {
+        assert_eq!(row.name, name);
+        assert_eq!(row.critical_path, cp);
+        assert_eq!(
+            [row.counts.mux, row.counts.comp, row.counts.add, row.counts.sub, row.counts.mul],
+            ops
+        );
+    }
+}
+
+#[test]
+fn figure_1_and_2_reproduce_the_walkthrough() {
+    let fig1 = figure1().unwrap();
+    // Two control steps: unique schedule, two subtractors, no management.
+    assert_eq!(fig1.result.managed_mux_count(), 0);
+    assert_eq!(fig1.result.resource_usage().count(cdfg::OpClass::Sub), 2);
+
+    let fig2 = figure2().unwrap();
+    // Three control steps: the traditional schedule gets by with one
+    // subtractor; the power-managed schedule needs two but gates one of the
+    // subtractions every sample.
+    assert_eq!(fig2.traditional.resource_usage().count(cdfg::OpClass::Sub), 1);
+    assert_eq!(fig2.managed.resource_usage().count(cdfg::OpClass::Sub), 2);
+    assert_eq!(fig2.managed.managed_mux_count(), 1);
+    // Expected subtractions per sample drop from 2 to 1.
+    let savings = fig2.managed.savings();
+    assert!((savings.expected(cdfg::OpClass::Sub) - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn table2_reproduces_the_papers_qualitative_claims() {
+    let rows = table2::table2().unwrap();
+
+    // Every evaluated configuration manages at least one multiplexor and
+    // saves datapath power.
+    for row in &rows {
+        assert!(row.pm_muxes >= 1, "{}@{}", row.circuit, row.control_steps);
+        assert!(row.power_reduction > 5.0, "{}@{}", row.circuit, row.control_steps);
+        assert!(row.area_increase >= 0.99, "{}@{}", row.circuit, row.control_steps);
+    }
+
+    // Headline claim: savings of roughly 40% are reachable (the paper's
+    // best case is 41.67% on vender).
+    let best = rows.iter().map(|r| r.power_reduction).fold(0.0f64, f64::max);
+    assert!(best > 30.0 && best < 55.0, "best savings {best}");
+
+    // Relative ordering of the circuits matches the paper: vender saves the
+    // most, gcd the least, cordic sits around 30%.
+    let reduction = |name: &str| {
+        rows.iter()
+            .filter(|r| r.circuit == name)
+            .map(|r| r.power_reduction)
+            .fold(0.0f64, f64::max)
+    };
+    assert!(reduction("vender") > reduction("dealer"));
+    assert!(reduction("dealer") > reduction("gcd"));
+    assert!(reduction("cordic") > 20.0 && reduction("cordic") < 45.0);
+
+    // cordic manages the vast majority of its 47 multiplexors, as in the
+    // paper (38 of 47 at 48 steps, 46 of 47 at 52 steps).
+    let cordic_rows: Vec<_> = rows.iter().filter(|r| r.circuit == "cordic").collect();
+    for row in &cordic_rows {
+        assert!(row.pm_muxes >= 35, "cordic manages most muxes, got {}", row.pm_muxes);
+        assert!(row.pm_muxes <= 47);
+    }
+    assert!(cordic_rows[1].pm_muxes >= cordic_rows[0].pm_muxes);
+}
+
+#[test]
+fn table3_reproduces_the_papers_qualitative_claims() {
+    let rows = table3::table3().unwrap();
+    assert_eq!(rows.len(), 3);
+    for row in &rows {
+        // Gate-level power drops for every circuit and the area change stays
+        // small (the paper reports 0.98x-1.11x).
+        assert!(row.power_reduction > 1.0, "{}", row.circuit);
+        assert!(row.area_increase > 0.9 && row.area_increase < 1.35, "{}", row.circuit);
+    }
+    let get = |name: &str| rows.iter().find(|r| r.circuit == name).unwrap();
+    assert!(get("vender").power_reduction > get("gcd").power_reduction);
+    assert!(get("vender").power_reduction > 20.0);
+}
+
+#[test]
+fn gate_level_savings_are_below_the_best_datapath_estimate() {
+    // "Since the controller is more complex for the power managed circuit,
+    // the savings in Table III are slightly lower [than] Table II."
+    let t2 = table2::table2().unwrap();
+    let t3 = table3::table3().unwrap();
+    let best_t2 = t2.iter().map(|r| r.power_reduction).fold(0.0f64, f64::max);
+    let best_t3 = t3.iter().map(|r| r.power_reduction).fold(0.0f64, f64::max);
+    assert!(best_t3 <= best_t2 + 5.0, "gate level {best_t3} vs datapath {best_t2}");
+}
+
+#[test]
+fn section_iv_extensions_behave_as_described() {
+    // IV-A: reordering never loses to the default outputs-first order.
+    let rows = reorder_ablation().unwrap();
+    for circuit in ["dealer", "gcd", "vender"] {
+        let best = rows
+            .iter()
+            .find(|r| r.circuit == circuit && r.order == "reordered (best)")
+            .unwrap();
+        let default = rows
+            .iter()
+            .find(|r| r.circuit == circuit && r.order == "outputs-first")
+            .unwrap();
+        assert!(best.power_reduction >= default.power_reduction - 1e-9);
+    }
+
+    // IV-B: pipelining adds slack, which never reduces the savings, at the
+    // cost of latency (and usually extra registers).
+    let rows = pipeline_ablation().unwrap();
+    for circuit in ["dealer", "gcd", "vender"] {
+        let by_stage: Vec<_> = rows.iter().filter(|r| r.circuit == circuit).collect();
+        assert!(by_stage[2].power_reduction >= by_stage[0].power_reduction - 1e-9);
+        assert!(by_stage[2].effective_steps > by_stage[0].effective_steps);
+    }
+}
