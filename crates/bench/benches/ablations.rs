@@ -18,7 +18,10 @@ use sched::hyper::{self, HyperOptions};
 use sched::{force, list, ResourceConstraint};
 
 fn bench_reorder(c: &mut Criterion) {
-    println!("{}", ablation::render_reorder(&ablation::reorder_ablation().expect("reorder ablation")));
+    println!(
+        "{}",
+        ablation::render_reorder(&ablation::reorder_ablation().expect("reorder ablation"))
+    );
     let cdfg = vender();
     let mut group = c.benchmark_group("ablation_mux_order");
     for (label, order) in [
@@ -38,21 +41,29 @@ fn bench_reorder(c: &mut Criterion) {
     }
     group.bench_function("reordered_search", |b| {
         b.iter(|| {
-            power_manage_reordered(black_box(&cdfg), &PowerManagementOptions::with_latency(6), 4).unwrap()
+            power_manage_reordered(black_box(&cdfg), &PowerManagementOptions::with_latency(6), 4)
+                .unwrap()
         })
     });
     group.finish();
 }
 
 fn bench_pipeline(c: &mut Criterion) {
-    println!("{}", ablation::render_pipeline(&ablation::pipeline_ablation().expect("pipeline ablation")));
+    println!(
+        "{}",
+        ablation::render_pipeline(&ablation::pipeline_ablation().expect("pipeline ablation"))
+    );
     let cdfg = dealer();
     let mut group = c.benchmark_group("ablation_pipeline_depth");
     for stages in 1..=3u32 {
         group.bench_with_input(BenchmarkId::from_parameter(stages), &stages, |b, &stages| {
             b.iter(|| {
-                power_manage_pipelined(black_box(&cdfg), &PowerManagementOptions::with_latency(4), stages)
-                    .unwrap()
+                power_manage_pipelined(
+                    black_box(&cdfg),
+                    &PowerManagementOptions::with_latency(4),
+                    stages,
+                )
+                .unwrap()
             })
         });
     }
@@ -69,8 +80,12 @@ fn bench_scheduler_choice(c: &mut Criterion) {
     });
     group.bench_function("list_constrained", |b| {
         b.iter(|| {
-            list::schedule(black_box(&cdfg), &ResourceConstraint::Limited(allocation.clone()), latency)
-                .unwrap()
+            list::schedule(
+                black_box(&cdfg),
+                &ResourceConstraint::Limited(allocation.clone()),
+                latency,
+            )
+            .unwrap()
         })
     });
     group.bench_function("hyper_min_resources", |b| {
@@ -103,5 +118,11 @@ fn bench_resource_budget(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_reorder, bench_pipeline, bench_scheduler_choice, bench_resource_budget);
+criterion_group!(
+    benches,
+    bench_reorder,
+    bench_pipeline,
+    bench_scheduler_choice,
+    bench_resource_budget
+);
 criterion_main!(benches);

@@ -27,9 +27,11 @@ fn bench_table2(c: &mut Criterion) {
             &(cdfg, steps),
             |b, (cdfg, steps)| {
                 b.iter(|| {
-                    let result =
-                        power_manage(black_box(cdfg), &PowerManagementOptions::with_latency(*steps))
-                            .unwrap();
+                    let result = power_manage(
+                        black_box(cdfg),
+                        &PowerManagementOptions::with_latency(*steps),
+                    )
+                    .unwrap();
                     black_box(result.savings().reduction_percent)
                 })
             },

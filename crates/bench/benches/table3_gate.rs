@@ -19,16 +19,20 @@ fn bench_table3(c: &mut Criterion) {
     let mut group = c.benchmark_group("table3_gate_level");
     group.sample_size(10);
     for (name, cdfg, steps) in cases {
-        group.bench_with_input(BenchmarkId::new(name, steps), &(cdfg, steps), |b, (cdfg, steps)| {
-            b.iter(|| {
-                let report = gate_level_comparison(
-                    black_box(cdfg),
-                    &GateLevelOptions::new(*steps).samples(200),
-                )
-                .unwrap();
-                black_box(report.power_reduction_percent)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new(name, steps),
+            &(cdfg, steps),
+            |b, (cdfg, steps)| {
+                b.iter(|| {
+                    let report = gate_level_comparison(
+                        black_box(cdfg),
+                        &GateLevelOptions::new(*steps).samples(200),
+                    )
+                    .unwrap();
+                    black_box(report.power_reduction_percent)
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -41,11 +41,8 @@ impl AreaModel {
     /// Estimates the area of `datapath`.
     pub fn estimate(&self, datapath: &Datapath) -> AreaEstimate {
         let bits = f64::from(datapath.bitwidth());
-        let units: f64 = datapath
-            .units()
-            .iter()
-            .map(|u| self.unit_weights.weight(u.class) * bits)
-            .sum();
+        let units: f64 =
+            datapath.units().iter().map(|u| self.unit_weights.weight(u.class) * bits).sum();
         let registers = datapath.registers().len() as f64 * self.register_bit * bits;
         let interconnect = datapath.steering_input_count() as f64 * self.steering_input_bit * bits;
         AreaEstimate { units, registers, interconnect }
@@ -123,15 +120,20 @@ mod tests {
     fn two_subtractors_cost_more_unit_area_than_one() {
         let g = abs_diff();
         let model = AreaModel::new();
-        let two_subs = Datapath::build(&g, &hyper::schedule(&g, &HyperOptions::with_latency(2)).unwrap()).unwrap();
-        let one_sub = Datapath::build(&g, &hyper::schedule(&g, &HyperOptions::with_latency(3)).unwrap()).unwrap();
+        let two_subs =
+            Datapath::build(&g, &hyper::schedule(&g, &HyperOptions::with_latency(2)).unwrap())
+                .unwrap();
+        let one_sub =
+            Datapath::build(&g, &hyper::schedule(&g, &HyperOptions::with_latency(3)).unwrap())
+                .unwrap();
         assert!(model.unit_area(&two_subs) > model.unit_area(&one_sub));
     }
 
     #[test]
     fn estimate_components_are_positive_and_sum() {
         let g = abs_diff();
-        let dp = Datapath::build(&g, &hyper::schedule(&g, &HyperOptions::with_latency(3)).unwrap()).unwrap();
+        let dp = Datapath::build(&g, &hyper::schedule(&g, &HyperOptions::with_latency(3)).unwrap())
+            .unwrap();
         let est = AreaModel::default().estimate(&dp);
         assert!(est.units > 0.0);
         assert!(est.registers > 0.0);
@@ -142,10 +144,7 @@ mod tests {
     #[test]
     fn unit_area_scales_with_bitwidth() {
         let model = AreaModel::new();
-        assert_eq!(
-            model.unit_area_of(OpClass::Add, 16),
-            2.0 * model.unit_area_of(OpClass::Add, 8)
-        );
+        assert_eq!(model.unit_area_of(OpClass::Add, 16), 2.0 * model.unit_area_of(OpClass::Add, 8));
         assert!(model.unit_area_of(OpClass::Mul, 8) > model.unit_area_of(OpClass::Add, 8));
     }
 }

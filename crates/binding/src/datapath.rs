@@ -86,13 +86,7 @@ impl Datapath {
             .map(|((unit, port), sources)| PortRouting { unit, port, sources })
             .collect();
 
-        Ok(Datapath {
-            fu,
-            registers,
-            routing,
-            operand_sources,
-            bitwidth: cdfg.default_bitwidth(),
-        })
+        Ok(Datapath { fu, registers, routing, operand_sources, bitwidth: cdfg.default_bitwidth() })
     }
 
     /// The functional-unit binding.
@@ -227,7 +221,10 @@ mod tests {
             let dp = Datapath::build(&g, &s).unwrap();
             for node in g.functional_nodes() {
                 for port in 0..g.node(node).unwrap().op.arity() as u16 {
-                    assert!(dp.operand_source(node, port).is_some(), "missing source for {node}:{port}");
+                    assert!(
+                        dp.operand_source(node, port).is_some(),
+                        "missing source for {node}:{port}"
+                    );
                 }
             }
         }

@@ -94,7 +94,11 @@ impl FuBinding {
                         units.push(FunctionalUnit {
                             id,
                             class,
-                            name: format!("{}_{}", class.label().to_lowercase().replace(['+', '-', '*', '/'], "fu"), k),
+                            name: format!(
+                                "{}_{}",
+                                class.label().to_lowercase().replace(['+', '-', '*', '/'], "fu"),
+                                k
+                            ),
                         });
                         pool.push(id);
                     }
@@ -132,11 +136,7 @@ impl FuBinding {
 
     /// All operations bound to `unit`, in node order.
     pub fn nodes_on_unit(&self, unit: UnitId) -> Vec<NodeId> {
-        self.assignment
-            .iter()
-            .filter(|(_, &u)| u == unit)
-            .map(|(&n, _)| n)
-            .collect()
+        self.assignment.iter().filter(|(_, &u)| u == unit).map(|(&n, _)| n).collect()
     }
 
     /// Number of units of `class`.
@@ -210,7 +210,11 @@ mod tests {
             let usage = s.resource_usage(&g);
             let binding = FuBinding::bind(&g, &s).unwrap();
             for class in OpClass::FUNCTIONAL {
-                assert_eq!(binding.unit_count(class), usage.count(class), "latency {latency}, class {class}");
+                assert_eq!(
+                    binding.unit_count(class),
+                    usage.count(class),
+                    "latency {latency}, class {class}"
+                );
             }
         }
     }

@@ -99,7 +99,8 @@ impl RegisterAllocation {
 
         // Left-edge: sort by birth, place each value in the first register
         // whose current occupant lifetimes do not overlap.
-        let mut sorted: Vec<&Lifetime> = lifetimes.values().filter(|l| l.needs_register()).collect();
+        let mut sorted: Vec<&Lifetime> =
+            lifetimes.values().filter(|l| l.needs_register()).collect();
         sorted.sort_by_key(|l| (l.birth, l.death, l.value));
 
         let mut registers: Vec<Register> = Vec::new();
@@ -154,7 +155,10 @@ impl RegisterAllocation {
     }
 }
 
-fn compute_lifetimes(cdfg: &Cdfg, schedule: &Schedule) -> Result<BTreeMap<NodeId, Lifetime>, BindError> {
+fn compute_lifetimes(
+    cdfg: &Cdfg,
+    schedule: &Schedule,
+) -> Result<BTreeMap<NodeId, Lifetime>, BindError> {
     let step_of = |node: NodeId| -> Result<u32, BindError> {
         let data = cdfg.node(node).ok_or(BindError::UnknownNode(node))?;
         if data.op.is_functional() {
@@ -271,7 +275,11 @@ mod tests {
                     for &v2 in &reg.values[i + 1..] {
                         let l1 = alloc.lifetime(v1).unwrap();
                         let l2 = alloc.lifetime(v2).unwrap();
-                        assert!(!l1.overlaps(&l2), "register {} holds overlapping values", reg.name);
+                        assert!(
+                            !l1.overlaps(&l2),
+                            "register {} holds overlapping values",
+                            reg.name
+                        );
                     }
                 }
             }

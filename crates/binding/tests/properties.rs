@@ -15,11 +15,7 @@ struct Recipe {
 }
 
 fn recipe_strategy() -> impl Strategy<Value = Recipe> {
-    (
-        2usize..5,
-        prop::collection::vec((0u8..8, 0usize..64, 0usize..64, 0usize..64), 1..28),
-        0u32..5,
-    )
+    (2usize..5, prop::collection::vec((0u8..8, 0usize..64, 0usize..64, 0usize..64), 1..28), 0u32..5)
         .prop_map(|(num_inputs, steps, extra_latency)| Recipe { num_inputs, steps, extra_latency })
 }
 

@@ -153,7 +153,12 @@ impl CdfgBuilder {
     /// # Errors
     ///
     /// Propagates the construction errors of [`Cdfg::add_mux`].
-    pub fn mux(&mut self, select: NodeId, when_false: NodeId, when_true: NodeId) -> Result<NodeId, CdfgError> {
+    pub fn mux(
+        &mut self,
+        select: NodeId,
+        when_false: NodeId,
+        when_true: NodeId,
+    ) -> Result<NodeId, CdfgError> {
         self.cdfg.add_mux(select, when_false, when_true)
     }
 

@@ -211,7 +211,10 @@ impl Cdfg {
                 return Err(CdfgError::UnknownNode(src));
             }
             if self.graph.node(src).expect("checked").op.is_output() {
-                return Err(CdfgError::InvalidNodeRole { node: src, reason: "output nodes cannot feed operations" });
+                return Err(CdfgError::InvalidNodeRole {
+                    node: src,
+                    reason: "output nodes cannot feed operations",
+                });
             }
         }
         let name = self.fresh_label(op);
@@ -244,13 +247,20 @@ impl Cdfg {
     /// Returns [`CdfgError::UnknownNode`] if `src` is stale,
     /// [`CdfgError::DuplicateName`] if an output with the same name exists,
     /// and [`CdfgError::InvalidNodeRole`] if `src` is itself an output.
-    pub fn add_output(&mut self, name: impl Into<String>, src: NodeId) -> Result<NodeId, CdfgError> {
+    pub fn add_output(
+        &mut self,
+        name: impl Into<String>,
+        src: NodeId,
+    ) -> Result<NodeId, CdfgError> {
         let name = name.into();
         if !self.graph.contains_node(src) {
             return Err(CdfgError::UnknownNode(src));
         }
         if self.graph.node(src).expect("checked").op.is_output() {
-            return Err(CdfgError::InvalidNodeRole { node: src, reason: "outputs cannot drive outputs" });
+            return Err(CdfgError::InvalidNodeRole {
+                node: src,
+                reason: "outputs cannot drive outputs",
+            });
         }
         if self
             .outputs
@@ -341,20 +351,12 @@ impl Cdfg {
 
     /// Ids of all functional (execution-unit-occupying) nodes.
     pub fn functional_nodes(&self) -> Vec<NodeId> {
-        self.graph
-            .nodes()
-            .filter(|(_, d)| d.op.is_functional())
-            .map(|(id, _)| id)
-            .collect()
+        self.graph.nodes().filter(|(_, d)| d.op.is_functional()).map(|(id, _)| id).collect()
     }
 
     /// Ids of all multiplexor nodes.
     pub fn mux_nodes(&self) -> Vec<NodeId> {
-        self.graph
-            .nodes()
-            .filter(|(_, d)| d.op.is_mux())
-            .map(|(id, _)| id)
-            .collect()
+        self.graph.nodes().filter(|(_, d)| d.op.is_mux()).map(|(id, _)| id).collect()
     }
 
     /// Immediate predecessors via data or control edges (deduplicated,
@@ -391,7 +393,8 @@ impl Cdfg {
     pub fn operands(&self, id: NodeId) -> Vec<NodeId> {
         let mut by_port: BTreeMap<u16, NodeId> = BTreeMap::new();
         for &e in self.graph.in_edges(id) {
-            if let (Some(data), Some((src, _))) = (self.graph.edge(e), self.graph.edge_endpoints(e)) {
+            if let (Some(data), Some((src, _))) = (self.graph.edge(e), self.graph.edge_endpoints(e))
+            {
                 if let Some(port) = data.kind.port() {
                     by_port.insert(port, src);
                 }
@@ -440,7 +443,9 @@ impl Cdfg {
     /// Table I).
     pub fn critical_path_length(&self) -> u32 {
         self.graph
-            .longest_path_weight(|n| u64::from(self.graph.node(n).map(|d| d.op.delay()).unwrap_or(0)))
+            .longest_path_weight(|n| {
+                u64::from(self.graph.node(n).map(|d| d.op.delay()).unwrap_or(0))
+            })
             .expect("CDFG must be acyclic") as u32
     }
 
@@ -483,10 +488,16 @@ impl Cdfg {
                 });
             }
             if data.op.is_output() && self.graph.out_degree(id) != 0 {
-                return Err(CdfgError::InvalidNodeRole { node: id, reason: "output has successors" });
+                return Err(CdfgError::InvalidNodeRole {
+                    node: id,
+                    reason: "output has successors",
+                });
             }
             if data.op.is_source() && !seen_ports.is_empty() {
-                return Err(CdfgError::InvalidNodeRole { node: id, reason: "source node has data operands" });
+                return Err(CdfgError::InvalidNodeRole {
+                    node: id,
+                    reason: "source node has data operands",
+                });
             }
         }
         Ok(())

@@ -111,7 +111,8 @@ mod tests {
 
     #[test]
     fn fanin_of_mux_ports() {
-        let (g, [a, b, c, d, outer_cmp, inner_cmp, cd_add, cd_sub, inner_mux, outer_mux]) = nested();
+        let (g, [a, b, c, d, outer_cmp, inner_cmp, cd_add, cd_sub, inner_mux, outer_mux]) =
+            nested();
         let sel = port_fanin(&g, outer_mux, crate::MUX_SELECT_PORT);
         assert!(sel.contains(&outer_cmp));
         assert!(sel.contains(&a) && sel.contains(&b));

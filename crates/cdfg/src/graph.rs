@@ -145,12 +145,12 @@ impl<N, E> DiGraph<N, E> {
 
     /// Returns `true` if `id` refers to a live node.
     pub fn contains_node(&self, id: NodeId) -> bool {
-        self.nodes.get(id.index()).map_or(false, Option::is_some)
+        self.nodes.get(id.index()).is_some_and(Option::is_some)
     }
 
     /// Returns `true` if `id` refers to a live edge.
     pub fn contains_edge(&self, id: EdgeId) -> bool {
-        self.edges.get(id.index()).map_or(false, Option::is_some)
+        self.edges.get(id.index()).is_some_and(Option::is_some)
     }
 
     /// Borrows the payload of node `id`, if it exists.
@@ -219,8 +219,7 @@ impl<N, E> DiGraph<N, E> {
         if !self.contains_node(id) {
             return None;
         }
-        let incident: Vec<EdgeId> = self
-            .nodes[id.index()]
+        let incident: Vec<EdgeId> = self.nodes[id.index()]
             .as_ref()
             .map(|s| s.in_edges.iter().chain(s.out_edges.iter()).copied().collect())
             .unwrap_or_default();
@@ -235,18 +234,12 @@ impl<N, E> DiGraph<N, E> {
 
     /// Iterates over the ids of all live nodes in ascending id order.
     pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.nodes
-            .iter()
-            .enumerate()
-            .filter_map(|(i, s)| s.as_ref().map(|_| NodeId(i as u32)))
+        self.nodes.iter().enumerate().filter_map(|(i, s)| s.as_ref().map(|_| NodeId(i as u32)))
     }
 
     /// Iterates over the ids of all live edges in ascending id order.
     pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
-        self.edges
-            .iter()
-            .enumerate()
-            .filter_map(|(i, s)| s.as_ref().map(|_| EdgeId(i as u32)))
+        self.edges.iter().enumerate().filter_map(|(i, s)| s.as_ref().map(|_| EdgeId(i as u32)))
     }
 
     /// Iterates over `(id, payload)` pairs of all live nodes.
@@ -259,10 +252,9 @@ impl<N, E> DiGraph<N, E> {
 
     /// Iterates over `(id, src, dst, payload)` tuples of all live edges.
     pub fn edges(&self) -> impl Iterator<Item = (EdgeId, NodeId, NodeId, &E)> + '_ {
-        self.edges
-            .iter()
-            .enumerate()
-            .filter_map(|(i, s)| s.as_ref().map(|slot| (EdgeId(i as u32), slot.src, slot.dst, &slot.payload)))
+        self.edges.iter().enumerate().filter_map(|(i, s)| {
+            s.as_ref().map(|slot| (EdgeId(i as u32), slot.src, slot.dst, &slot.payload))
+        })
     }
 
     /// Ids of edges leaving `id`.
@@ -285,18 +277,12 @@ impl<N, E> DiGraph<N, E> {
 
     /// Successor node ids of `id` (duplicates possible for parallel edges).
     pub fn successors(&self, id: NodeId) -> Vec<NodeId> {
-        self.out_edges(id)
-            .iter()
-            .filter_map(|&e| self.edge_endpoints(e).map(|(_, d)| d))
-            .collect()
+        self.out_edges(id).iter().filter_map(|&e| self.edge_endpoints(e).map(|(_, d)| d)).collect()
     }
 
     /// Predecessor node ids of `id` (duplicates possible for parallel edges).
     pub fn predecessors(&self, id: NodeId) -> Vec<NodeId> {
-        self.in_edges(id)
-            .iter()
-            .filter_map(|&e| self.edge_endpoints(e).map(|(s, _)| s))
-            .collect()
+        self.in_edges(id).iter().filter_map(|&e| self.edge_endpoints(e).map(|(s, _)| s)).collect()
     }
 
     /// In-degree of `id` (number of incoming edges).
@@ -318,10 +304,8 @@ impl<N, E> DiGraph<N, E> {
         for (_, _, dst, _) in self.edges() {
             indegree[dst.index()] += 1;
         }
-        let mut ready: VecDeque<NodeId> = self
-            .node_ids()
-            .filter(|n| indegree[n.index()] == 0)
-            .collect();
+        let mut ready: VecDeque<NodeId> =
+            self.node_ids().filter(|n| indegree[n.index()] == 0).collect();
         let mut order = Vec::with_capacity(self.node_count);
         while let Some(n) = ready.pop_front() {
             order.push(n);

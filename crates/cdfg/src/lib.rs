@@ -53,7 +53,9 @@ pub mod op;
 pub mod stats;
 
 pub use crate::builder::CdfgBuilder;
-pub use crate::cdfg::{Cdfg, EdgeData, EdgeKind, NodeData, MUX_FALSE_PORT, MUX_SELECT_PORT, MUX_TRUE_PORT};
+pub use crate::cdfg::{
+    Cdfg, EdgeData, EdgeKind, NodeData, MUX_FALSE_PORT, MUX_SELECT_PORT, MUX_TRUE_PORT,
+};
 pub use crate::error::CdfgError;
 pub use crate::graph::{DiGraph, EdgeId, NodeId};
 pub use crate::op::{CompareKind, Op, OpClass};

@@ -273,7 +273,15 @@ mod tests {
     use crate::stats::CircuitStats;
     use std::collections::BTreeMap;
 
-    fn assert_table1(cdfg: &Cdfg, cp: u32, mux: usize, comp: usize, add: usize, sub: usize, mul: usize) {
+    fn assert_table1(
+        cdfg: &Cdfg,
+        cp: u32,
+        mux: usize,
+        comp: usize,
+        add: usize,
+        sub: usize,
+        mul: usize,
+    ) {
         let stats = CircuitStats::of(cdfg);
         assert_eq!(stats.critical_path, cp, "{}: critical path", cdfg.name());
         assert_eq!(stats.counts.mux, mux, "{}: mux count", cdfg.name());

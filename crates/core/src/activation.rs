@@ -40,7 +40,10 @@ impl SelectProbabilities {
     pub fn from_pairs<I: IntoIterator<Item = (NodeId, f64)>>(pairs: I) -> Self {
         let probabilities: BTreeMap<NodeId, f64> = pairs.into_iter().collect();
         for (&mux, &p) in &probabilities {
-            assert!((0.0..=1.0).contains(&p), "probability for {mux} must be within [0, 1], got {p}");
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "probability for {mux} must be within [0, 1], got {p}"
+            );
         }
         SelectProbabilities { probabilities }
     }
@@ -102,11 +105,7 @@ impl Activation {
 
         for mm in managed {
             let condition_step = if mm.select_functional {
-                match schedule.step_of(mm.select_driver) {
-                    Some(step) => step,
-                    // Unscheduled select driver: be conservative, no gating.
-                    None => u32::MAX,
-                }
+                schedule.step_of(mm.select_driver).unwrap_or(u32::MAX)
             } else {
                 0
             };
@@ -138,11 +137,7 @@ impl Activation {
     /// Nodes whose execution probability is strictly below 1 — the
     /// operations the controller actually shuts down for some samples.
     pub fn gated_nodes(&self) -> Vec<NodeId> {
-        self.probabilities
-            .iter()
-            .filter(|(_, &p)| p < 1.0)
-            .map(|(&n, _)| n)
-            .collect()
+        self.probabilities.iter().filter(|(_, &p)| p < 1.0).map(|(&n, _)| n).collect()
     }
 
     /// The multiplexors gating `node` (empty for always-on operations).

@@ -172,9 +172,8 @@ pub fn power_manage(
         ) {
             Ok(s) => break s,
             Err(err) => {
-                let relaxable = managed
-                    .iter()
-                    .rposition(|m| m.accepted && !m.control_edges.is_empty());
+                let relaxable =
+                    managed.iter().rposition(|m| m.accepted && !m.control_edges.is_empty());
                 match relaxable {
                     Some(idx) if is_resource_pressure(&err) => {
                         for edge in std::mem::take(&mut managed[idx].control_edges) {
@@ -240,7 +239,9 @@ pub fn power_manage_reordered(
         let run = power_manage(cdfg, &options.clone().mux_order(order))?;
         let better = match &best {
             None => true,
-            Some(current) => run.savings().reduction_percent > current.savings().reduction_percent + 1e-9,
+            Some(current) => {
+                run.savings().reduction_percent > current.savings().reduction_percent + 1e-9
+            }
         };
         if better {
             best = Some(run);
@@ -319,11 +320,8 @@ mod tests {
         // after the comparison can still be disabled, even though both
         // cannot be moved behind the condition simultaneously.
         let (g, ..) = abs_diff();
-        let constraint = ResourceConstraint::limited([
-            (OpClass::Sub, 1),
-            (OpClass::Comp, 1),
-            (OpClass::Mux, 1),
-        ]);
+        let constraint =
+            ResourceConstraint::limited([(OpClass::Sub, 1), (OpClass::Comp, 1), (OpClass::Mux, 1)]);
         let options = PowerManagementOptions::with_resources(3, constraint);
         let result = power_manage(&g, &options).unwrap();
         result.schedule().validate(result.cdfg()).unwrap();

@@ -68,12 +68,11 @@ impl MuxCones {
         let false_driver = cdfg.operand(mux, MUX_FALSE_PORT).expect("mux 0-input driven");
         let true_driver = cdfg.operand(mux, MUX_TRUE_PORT).expect("mux 1-input driven");
 
-        let select_driver_is_functional = cdfg
-            .node(select_driver)
-            .map(|d| d.op.is_functional())
-            .unwrap_or(false);
+        let select_driver_is_functional =
+            cdfg.node(select_driver).map(|d| d.op.is_functional()).unwrap_or(false);
 
-        let select_cone = cone::functional_only(cdfg, &cone::port_fanin(cdfg, mux, MUX_SELECT_PORT));
+        let select_cone =
+            cone::functional_only(cdfg, &cone::port_fanin(cdfg, mux, MUX_SELECT_PORT));
         let false_cone = cone::functional_only(cdfg, &cone::port_fanin(cdfg, mux, MUX_FALSE_PORT));
         let true_cone = cone::functional_only(cdfg, &cone::port_fanin(cdfg, mux, MUX_TRUE_PORT));
 
@@ -109,11 +108,7 @@ impl MuxCones {
     pub fn top_nodes(&self, cdfg: &Cdfg, set: &BTreeSet<NodeId>) -> Vec<NodeId> {
         set.iter()
             .copied()
-            .filter(|&n| {
-                cdfg.predecessors(n)
-                    .into_iter()
-                    .all(|p| !set.contains(&p))
-            })
+            .filter(|&n| cdfg.predecessors(n).into_iter().all(|p| !set.contains(&p)))
             .collect()
     }
 
@@ -160,9 +155,8 @@ fn shutdown_set(
             if n == mux && cdfg.operand(mux, port) == Some(pred) {
                 // The predecessor may still feed the mux through another
                 // port (e.g. it is also the select driver); check those.
-                let feeds_other_port = (0..3u16)
-                    .filter(|&p| p != port)
-                    .any(|p| cdfg.operand(mux, p) == Some(pred));
+                let feeds_other_port =
+                    (0..3u16).filter(|&p| p != port).any(|p| cdfg.operand(mux, p) == Some(pred));
                 if !feeds_other_port {
                     continue;
                 }
@@ -172,11 +166,7 @@ fn shutdown_set(
             }
         }
     }
-    branch_cone
-        .iter()
-        .copied()
-        .filter(|n| !needed.contains(n))
-        .collect()
+    branch_cone.iter().copied().filter(|n| !needed.contains(n)).collect()
 }
 
 #[cfg(test)]

@@ -23,7 +23,9 @@ impl fmt::Display for PowerManageError {
         match self {
             PowerManageError::InvalidCdfg(e) => write!(f, "invalid CDFG: {e}"),
             PowerManageError::Scheduling(e) => write!(f, "scheduling failed: {e}"),
-            PowerManageError::InvalidPipelineDepth => f.write_str("pipeline depth must be at least one stage"),
+            PowerManageError::InvalidPipelineDepth => {
+                f.write_str("pipeline depth must be at least one stage")
+            }
         }
     }
 }

@@ -57,7 +57,8 @@ impl MuxOrder {
             }
             MuxOrder::Explicit(order) => {
                 let all: BTreeSet<NodeId> = muxes.iter().copied().collect();
-                let mut out: Vec<NodeId> = order.iter().copied().filter(|m| all.contains(m)).collect();
+                let mut out: Vec<NodeId> =
+                    order.iter().copied().filter(|m| all.contains(m)).collect();
                 let mentioned: BTreeSet<NodeId> = out.iter().copied().collect();
                 let rest = sort_by_output_distance(
                     cdfg,

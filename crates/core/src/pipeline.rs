@@ -130,7 +130,8 @@ mod tests {
     #[test]
     fn zero_stages_is_rejected() {
         let g = tight_design();
-        let err = power_manage_pipelined(&g, &PowerManagementOptions::with_latency(2), 0).unwrap_err();
+        let err =
+            power_manage_pipelined(&g, &PowerManagementOptions::with_latency(2), 0).unwrap_err();
         assert_eq!(err, PowerManageError::InvalidPipelineDepth);
     }
 
@@ -142,10 +143,7 @@ mod tests {
         let piped = power_manage_pipelined(&g, &options, 1).unwrap();
         assert_eq!(piped.effective_latency, 3);
         assert_eq!(piped.extra_registers, 0);
-        assert_eq!(
-            piped.result.savings().reduction_percent,
-            plain.savings().reduction_percent
-        );
+        assert_eq!(piped.result.savings().reduction_percent, plain.savings().reduction_percent);
     }
 
     #[test]

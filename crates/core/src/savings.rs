@@ -63,10 +63,7 @@ impl OpWeights {
 
     /// Weighted sum of an operation-count vector.
     pub fn weighted_counts(&self, counts: &OpCounts) -> f64 {
-        OpClass::FUNCTIONAL
-            .iter()
-            .map(|&c| self.weight(c) * counts.count(c) as f64)
-            .sum()
+        OpClass::FUNCTIONAL.iter().map(|&c| self.weight(c) * counts.count(c) as f64).sum()
     }
 
     /// Weighted sum of an expected-execution map.

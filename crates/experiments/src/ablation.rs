@@ -39,10 +39,8 @@ pub fn reorder_ablation() -> Result<Vec<ReorderRow>, PowerManageError> {
             ("by-savings", MuxOrder::BySavings),
         ];
         for (label, order) in orders {
-            let result = power_manage(
-                &cdfg,
-                &PowerManagementOptions::with_latency(steps).mux_order(order),
-            )?;
+            let result =
+                power_manage(&cdfg, &PowerManagementOptions::with_latency(steps).mux_order(order))?;
             rows.push(ReorderRow {
                 circuit: cdfg.name().to_owned(),
                 control_steps: steps,
@@ -94,8 +92,11 @@ pub fn pipeline_ablation() -> Result<Vec<PipelineRow>, PowerManageError> {
     let cases: Vec<(Cdfg, u32)> = vec![(dealer(), 4), (gcd(), 5), (vender(), 5)];
     for (cdfg, steps) in cases {
         for stages in 1..=3u32 {
-            let report =
-                power_manage_pipelined(&cdfg, &PowerManagementOptions::with_latency(steps), stages)?;
+            let report = power_manage_pipelined(
+                &cdfg,
+                &PowerManagementOptions::with_latency(steps),
+                stages,
+            )?;
             rows.push(PipelineRow {
                 circuit: cdfg.name().to_owned(),
                 throughput_steps: steps,
@@ -128,7 +129,8 @@ pub fn render_reorder(rows: &[ReorderRow]) -> String {
 
 /// Renders the pipeline ablation as text.
 pub fn render_pipeline(rows: &[PipelineRow]) -> String {
-    let mut out = String::from("Ablation (Section IV-B): pipelining as a power-management enabler\n");
+    let mut out =
+        String::from("Ablation (Section IV-B): pipelining as a power-management enabler\n");
     out.push_str(&format!(
         "{:<8} {:>4} {:>6} {:>6} {:>5} {:>8} {:>6}\n",
         "Circuit", "Thru", "Stages", "Steps", "Muxs", "Red.(%)", "Regs"
@@ -136,7 +138,13 @@ pub fn render_pipeline(rows: &[PipelineRow]) -> String {
     for r in rows {
         out.push_str(&format!(
             "{:<8} {:>4} {:>6} {:>6} {:>5} {:>8.2} {:>6}\n",
-            r.circuit, r.throughput_steps, r.stages, r.effective_steps, r.pm_muxes, r.power_reduction, r.extra_registers
+            r.circuit,
+            r.throughput_steps,
+            r.stages,
+            r.effective_steps,
+            r.pm_muxes,
+            r.power_reduction,
+            r.extra_registers
         ));
     }
     out
@@ -172,10 +180,8 @@ mod tests {
                 .iter()
                 .find(|r| r.circuit == circuit && r.order == "reordered (best)")
                 .unwrap();
-            let default = rows
-                .iter()
-                .find(|r| r.circuit == circuit && r.order == "outputs-first")
-                .unwrap();
+            let default =
+                rows.iter().find(|r| r.circuit == circuit && r.order == "outputs-first").unwrap();
             assert!(
                 best.power_reduction >= default.power_reduction - 1e-9,
                 "{circuit}: reordered {} < default {}",

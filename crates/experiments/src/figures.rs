@@ -1,9 +1,9 @@
 //! Figures 1 and 2: the |a − b| walkthrough.
 
+use cdfg::OpClass;
 use circuits::abs_diff;
 use pmsched::{power_manage, PowerManageError, PowerManagementOptions, PowerManagementResult};
 use sched::ResourceConstraint;
-use cdfg::OpClass;
 
 /// The reproduction of Figure 1: with only two control steps the schedule
 /// is unique, needs two subtractors and offers no power management.
@@ -47,15 +47,9 @@ pub fn figure1() -> Result<Figure1, PowerManageError> {
 pub fn figure2() -> Result<Figure2, PowerManageError> {
     let cdfg = abs_diff();
     // (a): traditional scheduling with minimum resources — one subtractor.
-    let one_sub = ResourceConstraint::limited([
-        (OpClass::Sub, 1),
-        (OpClass::Comp, 1),
-        (OpClass::Mux, 1),
-    ]);
-    let traditional = power_manage(
-        &cdfg,
-        &PowerManagementOptions::with_resources(3, one_sub),
-    )?;
+    let one_sub =
+        ResourceConstraint::limited([(OpClass::Sub, 1), (OpClass::Comp, 1), (OpClass::Mux, 1)]);
+    let traditional = power_manage(&cdfg, &PowerManagementOptions::with_resources(3, one_sub))?;
     // (b): power-managed scheduling with two subtractors available.
     let managed = power_manage(&cdfg, &PowerManagementOptions::with_latency(3))?;
     Ok(Figure2 { traditional, managed })

@@ -9,7 +9,9 @@
 //! the two branches cost the same).
 
 use cdfg::Cdfg;
-use pmsched::{power_manage, OpWeights, PowerManageError, PowerManagementOptions, SelectProbabilities};
+use pmsched::{
+    power_manage, OpWeights, PowerManageError, PowerManagementOptions, SelectProbabilities,
+};
 
 /// Savings at one swept probability point.
 #[derive(Debug, Clone, PartialEq)]
@@ -52,7 +54,11 @@ impl SensitivityReport {
 /// # Errors
 ///
 /// Propagates scheduling failures from [`power_manage`].
-pub fn sweep(cdfg: &Cdfg, control_steps: u32, steps: usize) -> Result<SensitivityReport, PowerManageError> {
+pub fn sweep(
+    cdfg: &Cdfg,
+    control_steps: u32,
+    steps: usize,
+) -> Result<SensitivityReport, PowerManageError> {
     let result = power_manage(cdfg, &PowerManagementOptions::with_latency(control_steps))?;
     let weights = OpWeights::paper_power();
     let muxes = result.cdfg().mux_nodes();
@@ -64,7 +70,8 @@ pub fn sweep(cdfg: &Cdfg, control_steps: u32, steps: usize) -> Result<Sensitivit
             probs.set(mux, p);
         }
         let savings = result.savings_with(&probs, &weights);
-        points.push(SensitivityPoint { p_select_one: p, power_reduction: savings.reduction_percent });
+        points
+            .push(SensitivityPoint { p_select_one: p, power_reduction: savings.reduction_percent });
     }
     Ok(SensitivityReport { circuit: cdfg.name().to_owned(), control_steps, points })
 }

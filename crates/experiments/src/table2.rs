@@ -3,7 +3,9 @@
 
 use cdfg::{Cdfg, OpClass};
 use circuits::all_benchmarks;
-use pmsched::{power_manage, OpWeights, PowerManageError, PowerManagementOptions, SelectProbabilities};
+use pmsched::{
+    power_manage, OpWeights, PowerManageError, PowerManagementOptions, SelectProbabilities,
+};
 
 /// One row of Table II.
 #[derive(Debug, Clone, PartialEq)]
@@ -142,7 +144,11 @@ mod tests {
         let vender_row = table2_for(&vender(), 6).unwrap();
         assert!(vender_row.power_reduction > dealer_row.power_reduction);
         assert!(dealer_row.power_reduction > gcd_row.power_reduction);
-        assert!(vender_row.power_reduction > 25.0, "vender saves a lot: {}", vender_row.power_reduction);
+        assert!(
+            vender_row.power_reduction > 25.0,
+            "vender saves a lot: {}",
+            vender_row.power_reduction
+        );
         assert!(gcd_row.power_reduction > 2.0, "gcd still saves something");
         assert!(gcd_row.power_reduction < 25.0);
     }

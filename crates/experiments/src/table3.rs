@@ -53,8 +53,13 @@ pub const DEFAULT_SAMPLES: usize = 500;
 /// # Errors
 ///
 /// Propagates scheduling, binding or simulation failures.
-pub fn table3_for(cdfg: &Cdfg, control_steps: u32, samples: usize) -> Result<Table3Row, EstimateError> {
-    let report = gate_level_comparison(cdfg, &GateLevelOptions::new(control_steps).samples(samples))?;
+pub fn table3_for(
+    cdfg: &Cdfg,
+    control_steps: u32,
+    samples: usize,
+) -> Result<Table3Row, EstimateError> {
+    let report =
+        gate_level_comparison(cdfg, &GateLevelOptions::new(control_steps).samples(samples))?;
     Ok(Table3Row {
         circuit: cdfg.name().to_owned(),
         control_steps,
@@ -110,7 +115,12 @@ mod tests {
             // stays small (the paper sees 0.98x to 1.11x).
             assert!(row.power_reduction > 1.0, "{}: {}", row.circuit, row.power_reduction);
             assert!(row.power_reduction < 60.0);
-            assert!(row.area_increase > 0.85 && row.area_increase < 1.4, "{}: {}", row.circuit, row.area_increase);
+            assert!(
+                row.area_increase > 0.85 && row.area_increase < 1.4,
+                "{}: {}",
+                row.circuit,
+                row.area_increase
+            );
             assert!(row.new_power < row.orig_power);
         }
         // vender remains the biggest winner, as in the paper (32.8% vs 24.5%

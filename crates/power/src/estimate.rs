@@ -169,7 +169,8 @@ pub fn gate_level_comparison(
     cdfg: &Cdfg,
     options: &GateLevelOptions,
 ) -> Result<GateLevelReport, EstimateError> {
-    let pm_options = PowerManagementOptions::with_resources(options.latency, options.resources.clone());
+    let pm_options =
+        PowerManagementOptions::with_resources(options.latency, options.resources.clone());
     let result = power_manage(cdfg, &pm_options)?;
 
     // Managed design.
@@ -289,7 +290,8 @@ mod tests {
         // Table II as expected" because the controller is more complex.
         let g = abs_diff();
         let pm = power_manage(&g, &PowerManagementOptions::with_latency(3)).unwrap();
-        let datapath_only = datapath_estimate(&pm, &SelectProbabilities::fair(), &OpWeights::paper_power());
+        let datapath_only =
+            datapath_estimate(&pm, &SelectProbabilities::fair(), &OpWeights::paper_power());
         let gate_level = gate_level_comparison(&g, &GateLevelOptions::new(3).samples(300)).unwrap();
         assert!(gate_level.power_reduction_percent < datapath_only.reduction_percent + 5.0);
     }
@@ -304,7 +306,8 @@ mod tests {
 
     #[test]
     fn options_builders_chain() {
-        let opts = GateLevelOptions::new(4).samples(10).seed(1).resources(ResourceConstraint::Unlimited);
+        let opts =
+            GateLevelOptions::new(4).samples(10).seed(1).resources(ResourceConstraint::Unlimited);
         assert_eq!(opts.latency, 4);
         assert_eq!(opts.samples, 10);
         assert_eq!(opts.seed, 1);

@@ -23,21 +23,19 @@ impl RandomVectors {
     /// Creates a generator for the primary inputs of `cdfg`, producing
     /// values uniform in `[0, 2^bitwidth)`.
     pub fn new(cdfg: &Cdfg, seed: u64) -> Self {
-        let input_names = cdfg
-            .inputs()
-            .iter()
-            .filter_map(|&n| cdfg.node(n).map(|d| d.name.clone()))
-            .collect();
-        RandomVectors { input_names, bitwidth: cdfg.default_bitwidth(), rng: StdRng::seed_from_u64(seed) }
+        let input_names =
+            cdfg.inputs().iter().filter_map(|&n| cdfg.node(n).map(|d| d.name.clone())).collect();
+        RandomVectors {
+            input_names,
+            bitwidth: cdfg.default_bitwidth(),
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Generates one input sample.
     pub fn sample(&mut self) -> BTreeMap<String, i64> {
         let max = 1i64 << self.bitwidth.min(62);
-        self.input_names
-            .iter()
-            .map(|name| (name.clone(), self.rng.gen_range(0..max)))
-            .collect()
+        self.input_names.iter().map(|name| (name.clone(), self.rng.gen_range(0..max))).collect()
     }
 
     /// Generates `n` input samples.

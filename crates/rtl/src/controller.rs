@@ -78,9 +78,7 @@ impl Controller {
             } else {
                 0
             };
-            for (set, active_when_one) in
-                [(&mm.shutdown_true, true), (&mm.shutdown_false, false)]
-            {
+            for (set, active_when_one) in [(&mm.shutdown_true, true), (&mm.shutdown_false, false)] {
                 for &node in set {
                     let Some(node_step) = schedule.step_of(node) else { continue };
                     if condition_step < node_step {
@@ -147,11 +145,8 @@ impl Controller {
     /// Distinct condition nodes the controller must store and route —
     /// each needs a 1-bit status register inside the controller.
     pub fn condition_signals(&self) -> Vec<NodeId> {
-        let mut signals: Vec<NodeId> = self
-            .enables
-            .values()
-            .flat_map(|e| e.conditions.iter().map(|c| c.condition))
-            .collect();
+        let mut signals: Vec<NodeId> =
+            self.enables.values().flat_map(|e| e.conditions.iter().map(|c| c.condition)).collect();
         signals.sort();
         signals.dedup();
         signals

@@ -74,11 +74,8 @@ impl GateModel {
     /// Expands a datapath and its controller into a gate report.
     pub fn expand(&self, datapath: &Datapath, controller: &Controller) -> GateReport {
         let bits = datapath.bitwidth();
-        let datapath_gates: f64 = datapath
-            .units()
-            .iter()
-            .map(|u| self.unit_gates(u.class, bits))
-            .sum();
+        let datapath_gates: f64 =
+            datapath.units().iter().map(|u| self.unit_gates(u.class, bits)).sum();
         let register_gates =
             datapath.registers().len() as f64 * self.register_bit * f64::from(bits);
         let steering_gates =
@@ -185,7 +182,10 @@ mod tests {
         let model = GateModel::default();
         let (dp, ctrl) = flow(3);
         let report = model.expand(&dp, &ctrl);
-        let sum = report.datapath_gates + report.register_gates + report.steering_gates + report.controller_gates;
+        let sum = report.datapath_gates
+            + report.register_gates
+            + report.steering_gates
+            + report.controller_gates;
         assert!((report.total() - sum).abs() < 1e-9);
         assert!(report.to_string().starts_with("gates:"));
     }

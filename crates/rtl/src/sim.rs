@@ -58,7 +58,10 @@ impl fmt::Display for SimError {
                 write!(f, "operation {node} needs operand {operand} which was shut down or never computed")
             }
             SimError::Mismatch { output, rtl, reference } => {
-                write!(f, "output `{output}` mismatch: rtl produced {rtl}, reference expects {reference}")
+                write!(
+                    f,
+                    "output `{output}` mismatch: rtl produced {rtl}, reference expects {reference}"
+                )
             }
             SimError::Binding(msg) => write!(f, "datapath binding failed: {msg}"),
         }
@@ -113,13 +116,15 @@ impl Simulator {
     ///
     /// Returns [`SimError::Binding`] when the datapath cannot be built (e.g.
     /// the schedule is incomplete).
-    pub fn new(cdfg: &Cdfg, schedule: &Schedule, controller: &Controller) -> Result<Self, SimError> {
-        let datapath = Datapath::build(cdfg, schedule).map_err(|e| SimError::Binding(e.to_string()))?;
-        let mask = if cdfg.default_bitwidth() >= 64 {
-            -1
-        } else {
-            (1i64 << cdfg.default_bitwidth()) - 1
-        };
+    pub fn new(
+        cdfg: &Cdfg,
+        schedule: &Schedule,
+        controller: &Controller,
+    ) -> Result<Self, SimError> {
+        let datapath =
+            Datapath::build(cdfg, schedule).map_err(|e| SimError::Binding(e.to_string()))?;
+        let mask =
+            if cdfg.default_bitwidth() >= 64 { -1 } else { (1i64 << cdfg.default_bitwidth()) - 1 };
         Ok(Simulator {
             cdfg: cdfg.clone(),
             schedule: schedule.clone(),

@@ -59,11 +59,8 @@ fn build(recipe: &Recipe) -> Cdfg {
 }
 
 fn samples(recipe: &Recipe, cdfg: &Cdfg) -> Vec<BTreeMap<String, i64>> {
-    let names: Vec<String> = cdfg
-        .inputs()
-        .iter()
-        .map(|&n| cdfg.node(n).unwrap().name.clone())
-        .collect();
+    let names: Vec<String> =
+        cdfg.inputs().iter().map(|&n| cdfg.node(n).unwrap().name.clone()).collect();
     recipe
         .stimuli
         .chunks(names.len().max(1))

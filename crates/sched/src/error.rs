@@ -101,17 +101,17 @@ mod tests {
             (ScheduleError::InsufficientResources { latency: 4 }, "resource"),
             (ScheduleError::MissingNode(NodeId::new(1)), "missing"),
             (
-                ScheduleError::PrecedenceViolation { before: NodeId::new(1), after: NodeId::new(2) },
+                ScheduleError::PrecedenceViolation {
+                    before: NodeId::new(1),
+                    after: NodeId::new(2),
+                },
                 "precedence",
             ),
             (
                 ScheduleError::StepOutOfRange { node: NodeId::new(1), step: 9, num_steps: 4 },
                 "outside",
             ),
-            (
-                ScheduleError::ResourceOverflow { step: 2, class: "+", limit: 1, used: 2 },
-                "units",
-            ),
+            (ScheduleError::ResourceOverflow { step: 2, class: "+", limit: 1, used: 2 }, "units"),
             (ScheduleError::LatencyExceeded { allowed: 3, used: 5 }, "control steps"),
         ];
         for (err, needle) in cases {

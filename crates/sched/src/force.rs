@@ -132,11 +132,15 @@ fn self_force(dg: &BTreeMap<(OpClass, u32), f64>, class: OpClass, frame: Frame, 
     force
 }
 
-
 /// Restores frame consistency after a node has been fixed: every functional
 /// successor must start after its predecessors, every predecessor must
 /// finish before its successors.
-fn propagate(cdfg: &Cdfg, frames: &mut BTreeMap<NodeId, Frame>, fixed: &BTreeMap<NodeId, u32>, latency: u32) {
+fn propagate(
+    cdfg: &Cdfg,
+    frames: &mut BTreeMap<NodeId, Frame>,
+    fixed: &BTreeMap<NodeId, u32>,
+    latency: u32,
+) {
     // Iterate to a fixed point; graphs are small (tens to hundreds of nodes).
     let order = cdfg.topological_order();
     loop {

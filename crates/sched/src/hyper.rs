@@ -118,11 +118,8 @@ mod tests {
     #[test]
     fn explicit_resources_use_list_scheduling() {
         let (g, ..) = abs_diff();
-        let constraint = ResourceConstraint::limited([
-            (OpClass::Sub, 2),
-            (OpClass::Comp, 1),
-            (OpClass::Mux, 1),
-        ]);
+        let constraint =
+            ResourceConstraint::limited([(OpClass::Sub, 2), (OpClass::Comp, 1), (OpClass::Mux, 1)]);
         let s = schedule(&g, &HyperOptions::with_resources(2, constraint.clone())).unwrap();
         s.validate_with(&g, &constraint).unwrap();
         assert_eq!(s.num_steps(), 2);

@@ -171,11 +171,8 @@ mod tests {
         // Figure 2(a) of the paper: with one subtractor the two subtractions
         // are serialised and the design needs three control steps.
         let (g, _gt, amb, bma, m) = abs_diff();
-        let constraint = ResourceConstraint::limited([
-            (OpClass::Sub, 1),
-            (OpClass::Comp, 1),
-            (OpClass::Mux, 1),
-        ]);
+        let constraint =
+            ResourceConstraint::limited([(OpClass::Sub, 1), (OpClass::Comp, 1), (OpClass::Mux, 1)]);
         let s = schedule(&g, &constraint, 3).unwrap();
         s.validate_with(&g, &constraint).unwrap();
         assert_eq!(s.num_steps(), 3);
@@ -199,11 +196,8 @@ mod tests {
     #[test]
     fn latency_bound_is_enforced() {
         let (g, ..) = abs_diff();
-        let one_of_each = ResourceConstraint::limited([
-            (OpClass::Sub, 1),
-            (OpClass::Comp, 1),
-            (OpClass::Mux, 1),
-        ]);
+        let one_of_each =
+            ResourceConstraint::limited([(OpClass::Sub, 1), (OpClass::Comp, 1), (OpClass::Mux, 1)]);
         // Needs 3 steps with one subtractor; 2 is not enough.
         let err = schedule_with_latency(&g, &one_of_each, 2).unwrap_err();
         assert!(matches!(err, ScheduleError::LatencyExceeded { allowed: 2, used: 3 }));

@@ -60,11 +60,7 @@ impl Schedule {
 
     /// All nodes assigned to `step`, in node-id order.
     pub fn nodes_in_step(&self, step: u32) -> Vec<NodeId> {
-        self.steps
-            .iter()
-            .filter(|(_, &s)| s == step)
-            .map(|(&n, _)| n)
-            .collect()
+        self.steps.iter().filter(|(_, &s)| s == step).map(|(&n, _)| n).collect()
     }
 
     /// The highest step actually used (0 when empty).  This can be smaller
@@ -116,13 +112,21 @@ impl Schedule {
     /// # Errors
     ///
     /// Returns the first violation found; see [`ScheduleError`].
-    pub fn validate_with(&self, cdfg: &Cdfg, constraint: &ResourceConstraint) -> Result<(), ScheduleError> {
+    pub fn validate_with(
+        &self,
+        cdfg: &Cdfg,
+        constraint: &ResourceConstraint,
+    ) -> Result<(), ScheduleError> {
         // Completeness and bounds.
         for node in cdfg.functional_nodes() {
             match self.step_of(node) {
                 None => return Err(ScheduleError::MissingNode(node)),
                 Some(step) if step == 0 || step > self.num_steps => {
-                    return Err(ScheduleError::StepOutOfRange { node, step, num_steps: self.num_steps })
+                    return Err(ScheduleError::StepOutOfRange {
+                        node,
+                        step,
+                        num_steps: self.num_steps,
+                    })
                 }
                 Some(_) => {}
             }
@@ -272,13 +276,13 @@ mod tests {
     fn resource_constraint_violation_is_reported() {
         let (g, gt, amb, bma, m) = abs_diff();
         let s = figure1_schedule(gt, amb, bma, m);
-        let one_sub = ResourceConstraint::limited([
-            (OpClass::Sub, 1),
-            (OpClass::Comp, 1),
-            (OpClass::Mux, 1),
-        ]);
+        let one_sub =
+            ResourceConstraint::limited([(OpClass::Sub, 1), (OpClass::Comp, 1), (OpClass::Mux, 1)]);
         let err = s.validate_with(&g, &one_sub).unwrap_err();
-        assert!(matches!(err, ScheduleError::ResourceOverflow { class: "-", used: 2, limit: 1, .. }));
+        assert!(matches!(
+            err,
+            ScheduleError::ResourceOverflow { class: "-", used: 2, limit: 1, .. }
+        ));
     }
 
     #[test]

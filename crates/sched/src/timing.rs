@@ -106,11 +106,7 @@ impl Timing {
     /// Nodes whose ASAP exceeds their ALAP, i.e. nodes that cannot be
     /// scheduled within the latency.
     pub fn infeasible_nodes(&self) -> Vec<NodeId> {
-        self.asap
-            .iter()
-            .filter(|(n, &a)| a > 0 && a > self.alap[n])
-            .map(|(&n, _)| n)
-            .collect()
+        self.asap.iter().filter(|(n, &a)| a > 0 && a > self.alap[n]).map(|(&n, _)| n).collect()
     }
 
     /// Returns `true` when every functional node satisfies ASAP ≤ ALAP.
@@ -120,10 +116,7 @@ impl Timing {
 
     /// Iterates over `(node, asap, alap)` triples for functional nodes.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, u32, u32)> + '_ {
-        self.asap
-            .iter()
-            .filter(|(_, &a)| a > 0)
-            .map(|(&n, &a)| (n, a, self.alap[&n]))
+        self.asap.iter().filter(|(_, &a)| a > 0).map(|(&n, &a)| (n, a, self.alap[&n]))
     }
 
     /// The minimum latency for which this CDFG is feasible: the maximum ASAP

@@ -21,13 +21,8 @@ use crate::error::SilageError;
 /// declarations or unassigned outputs.
 pub fn elaborate(func: &FuncDef) -> Result<Cdfg, SilageError> {
     // The design bitwidth is the widest declared port (default 8).
-    let bitwidth = func
-        .params
-        .iter()
-        .chain(func.outputs.iter())
-        .filter_map(|p| p.bitwidth)
-        .max()
-        .unwrap_or(8);
+    let bitwidth =
+        func.params.iter().chain(func.outputs.iter()).filter_map(|p| p.bitwidth).max().unwrap_or(8);
     let mut cdfg = Cdfg::with_bitwidth(&func.name, bitwidth);
     let mut env: BTreeMap<String, NodeId> = BTreeMap::new();
 
@@ -56,10 +51,8 @@ pub fn elaborate(func: &FuncDef) -> Result<Cdfg, SilageError> {
     }
 
     for name in &output_names {
-        let node = env
-            .get(name)
-            .copied()
-            .ok_or_else(|| SilageError::UnassignedOutput(name.clone()))?;
+        let node =
+            env.get(name).copied().ok_or_else(|| SilageError::UnassignedOutput(name.clone()))?;
         cdfg.add_output(name, node)?;
     }
 
@@ -144,7 +137,9 @@ mod tests {
     #[test]
     fn undefined_name_is_reported_with_line() {
         let err = compile("func f(a) -> (o) {\n o = a + missing;\n}").unwrap_err();
-        assert!(matches!(err, SilageError::UndefinedName { ref name, line: 2 } if name == "missing"));
+        assert!(
+            matches!(err, SilageError::UndefinedName { ref name, line: 2 } if name == "missing")
+        );
     }
 
     #[test]
@@ -195,10 +190,8 @@ mod tests {
 
     #[test]
     fn intermediate_values_can_be_shared() {
-        let g = compile(
-            "func f(a, b) -> (o) { s = a + b; c = s > b; o = if c then s else b; }",
-        )
-        .unwrap();
+        let g = compile("func f(a, b) -> (o) { s = a + b; c = s > b; o = if c then s else b; }")
+            .unwrap();
         // The addition feeds both the comparison and the mux data input.
         assert_eq!(g.op_counts().add, 1);
         let mut inputs = Map::new();

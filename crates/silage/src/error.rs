@@ -65,7 +65,9 @@ impl fmt::Display for SilageError {
             SilageError::UnexpectedChar { ch, line } => {
                 write!(f, "line {line}: unexpected character `{ch}`")
             }
-            SilageError::NumberTooLarge { line } => write!(f, "line {line}: integer literal too large"),
+            SilageError::NumberTooLarge { line } => {
+                write!(f, "line {line}: integer literal too large")
+            }
             SilageError::UnexpectedToken { expected, found, line } => {
                 write!(f, "line {line}: expected {expected}, found {found}")
             }
@@ -78,7 +80,9 @@ impl fmt::Display for SilageError {
                 write!(f, "line {line}: `{name}` is assigned more than once")
             }
             SilageError::UnassignedOutput(name) => write!(f, "output `{name}` is never assigned"),
-            SilageError::DuplicateDeclaration(name) => write!(f, "`{name}` is declared more than once"),
+            SilageError::DuplicateDeclaration(name) => {
+                write!(f, "`{name}` is declared more than once")
+            }
             SilageError::Construction(e) => write!(f, "elaboration failed: {e}"),
         }
     }

@@ -278,7 +278,8 @@ mod tests {
 
     #[test]
     fn parses_nested_conditionals_and_parens() {
-        let src = "func f(a, b) -> (o) { o = if a > b then (if a == b then 1 else 2) else a * (b + 1); }";
+        let src =
+            "func f(a, b) -> (o) { o = if a > b then (if a == b then 1 else 2) else a * (b + 1); }";
         let program = parse(src).unwrap();
         assert_eq!(program.functions[0].body[0].expr.conditional_count(), 2);
     }

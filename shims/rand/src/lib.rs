@@ -1,0 +1,108 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access, so this workspace vendors a
+//! tiny, deterministic implementation of the API subset it uses:
+//! `rand::rngs::StdRng`, `SeedableRng::seed_from_u64` and `Rng::gen_range`
+//! over half-open integer ranges.  The generator is splitmix64, which is
+//! plenty for reproducible test vectors (this is *not* a cryptographic or
+//! statistically rigorous RNG, and it does not match upstream `StdRng`'s
+//! stream — seeds here produce their own stable sequence).
+
+use std::ops::Range;
+
+/// Seedable random-number generators.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling interface implemented by all generators.
+pub trait Rng {
+    /// Returns the next raw 64 bits of the stream.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples uniformly from a half-open range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+
+/// Ranges that can be sampled uniformly.  Implemented for the half-open
+/// integer ranges this workspace uses.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample<G: Rng + ?Sized>(self, rng: &mut G) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($ty:ty),*) => {$(
+        impl SampleRange<$ty> for Range<$ty> {
+            fn sample<G: Rng + ?Sized>(self, rng: &mut G) -> $ty {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let width = (self.end as i128 - self.start as i128) as u128;
+                let draw = (rng.next_u64() as u128) % width;
+                (self.start as i128 + draw as i128) as $ty
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+pub mod rngs {
+    //! Concrete generator types.
+
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic splitmix64 generator standing in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed.wrapping_add(0x9e37_79b9_7f4a_7c15) }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: i64 = rng.gen_range(-50i64..50);
+            assert!((-50..50).contains(&v));
+            let u: usize = rng.gen_range(0usize..3);
+            assert!(u < 3);
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! Umbrella crate for the DAC'96 power-management-scheduling reproduction.
+//!
+//! The actual functionality lives in the member crates (`cdfg`, `silage`,
+//! `sched`, `pmsched`, `binding`, `rtl`, `power`, `circuits`,
+//! `experiments`); this root package exists so the workspace-level
+//! integration tests in `tests/` and the walkthroughs in `examples/` have a
+//! home.  It re-exports the member crates for convenience.
+
+pub use binding;
+pub use cdfg;
+pub use circuits;
+pub use experiments;
+pub use pmsched;
+pub use power;
+pub use rtl;
+pub use sched;
+pub use silage;

@@ -4,9 +4,9 @@
 use binding::{AreaModel, Datapath, FuBinding, RegisterAllocation};
 use cdfg::OpClass;
 use pmsched::{power_manage, PowerManagementOptions, SelectProbabilities};
+use power::RandomVectors;
 use rtl::{Controller, GateModel, Simulator};
 use sched::hyper::{self, HyperOptions};
-use power::RandomVectors;
 
 #[test]
 fn schedule_resource_usage_matches_fu_binding_everywhere() {
@@ -15,7 +15,8 @@ fn schedule_resource_usage_matches_fu_binding_everywhere() {
             continue; // covered by the dedicated cordic test below
         }
         for &steps in &bench.control_steps {
-            let schedule = hyper::schedule(&bench.cdfg, &HyperOptions::with_latency(steps)).unwrap();
+            let schedule =
+                hyper::schedule(&bench.cdfg, &HyperOptions::with_latency(steps)).unwrap();
             let usage = schedule.resource_usage(&bench.cdfg);
             let binding = FuBinding::bind(&bench.cdfg, &schedule).unwrap();
             for class in OpClass::FUNCTIONAL {

@@ -23,7 +23,8 @@ fn full_flow(cdfg: &cdfg::Cdfg, latency: u32, samples: usize) {
     assert!(!datapath.registers().is_empty());
 
     let controller = Controller::generate(&result);
-    let mut sim = Simulator::new(result.cdfg(), result.schedule(), &controller).expect("simulator builds");
+    let mut sim =
+        Simulator::new(result.cdfg(), result.schedule(), &controller).expect("simulator builds");
 
     let vectors = RandomVectors::new(cdfg, 0xE2E).samples(samples);
     for sample in &vectors {
@@ -89,7 +90,8 @@ fn gated_operations_never_corrupt_outputs_under_resource_pressure() {
     let cdfg = circuits::vender();
     let unconstrained = power_manage(&cdfg, &PowerManagementOptions::with_latency(6)).unwrap();
     let allocation = unconstrained.baseline_resource_usage();
-    let options = PowerManagementOptions::with_resources(6, sched::ResourceConstraint::Limited(allocation));
+    let options =
+        PowerManagementOptions::with_resources(6, sched::ResourceConstraint::Limited(allocation));
     let result = power_manage(&cdfg, &options).unwrap();
     let controller = Controller::generate(&result);
     let mut sim = Simulator::new(result.cdfg(), result.schedule(), &controller).unwrap();
@@ -102,7 +104,11 @@ fn gated_operations_never_corrupt_outputs_under_resource_pressure() {
         .activity()
         .iter()
         .filter(|(unit, _)| {
-            sim.datapath().fu_binding().unit(**unit).map(|u| u.class == OpClass::Mul).unwrap_or(false)
+            sim.datapath()
+                .fu_binding()
+                .unit(**unit)
+                .map(|u| u.class == OpClass::Mul)
+                .unwrap_or(false)
         })
         .map(|(_, a)| a.gated_cycles)
         .sum();
@@ -118,10 +124,12 @@ fn simulation_energy_reflects_gating() {
 
     let managed = power_manage(&cdfg, &PowerManagementOptions::with_latency(6)).unwrap();
     let managed_ctrl = Controller::generate(&managed);
-    let mut managed_sim = Simulator::new(managed.cdfg(), managed.schedule(), &managed_ctrl).unwrap();
+    let mut managed_sim =
+        Simulator::new(managed.cdfg(), managed.schedule(), &managed_ctrl).unwrap();
 
     let baseline_ctrl = Controller::ungated(&cdfg, managed.baseline_schedule());
-    let mut baseline_sim = Simulator::new(&cdfg, managed.baseline_schedule(), &baseline_ctrl).unwrap();
+    let mut baseline_sim =
+        Simulator::new(&cdfg, managed.baseline_schedule(), &baseline_ctrl).unwrap();
 
     for sample in &vectors {
         managed_sim.run_sample(sample).unwrap();

@@ -1,0 +1,51 @@
+//! Golden tests pinning the paper's headline numbers.
+//!
+//! These assert exact values (not just shapes) so that refactors of the
+//! scheduler, the savings model, or the weight tables cannot silently drift
+//! away from the DAC'96 reference points:
+//!
+//! * the `|a - b|` walkthrough of Figures 1 and 2, and
+//! * the Table II relative power weights (MUX 1, COMP 4, + 3, − 3, × 20).
+
+use cdfg::OpClass;
+use circuits::abs_diff;
+use pmsched::{power_manage, OpWeights, PowerManagementOptions};
+
+/// Figure 2: at latency 3 the `|a - b|` example manages exactly one mux and
+/// the savings model predicts a strictly positive power reduction.
+#[test]
+fn abs_diff_at_latency_3_manages_one_mux_and_saves_power() {
+    let result = power_manage(&abs_diff(), &PowerManagementOptions::with_latency(3)).unwrap();
+    assert_eq!(result.managed_mux_count(), 1, "Figure 2 manages exactly one multiplexor");
+
+    let savings = result.savings();
+    assert!(
+        savings.reduction_percent > 0.0,
+        "power management must predict a positive reduction, got {}%",
+        savings.reduction_percent
+    );
+    // Only one of the two subtractions executes per sample once the mux is
+    // managed (Figure 2's whole point), while the comparison always runs.
+    assert!((savings.expected(OpClass::Sub) - 1.0).abs() < 1e-9);
+    assert!((savings.expected(OpClass::Comp) - 1.0).abs() < 1e-9);
+}
+
+/// Figure 1: at latency 2 the schedule is forced and nothing can be gated.
+#[test]
+fn abs_diff_at_latency_2_cannot_be_managed() {
+    let result = power_manage(&abs_diff(), &PowerManagementOptions::with_latency(2)).unwrap();
+    assert_eq!(result.managed_mux_count(), 0, "Figure 1 admits no power management");
+}
+
+/// Table II's relative execution-unit power weights, verbatim from the
+/// paper.  `OpWeights::default()` must stay aliased to them.
+#[test]
+fn table2_power_weights_survive_refactors() {
+    for weights in [OpWeights::paper_power(), OpWeights::default()] {
+        assert_eq!(weights.weight(OpClass::Mux), 1.0);
+        assert_eq!(weights.weight(OpClass::Comp), 4.0);
+        assert_eq!(weights.weight(OpClass::Add), 3.0);
+        assert_eq!(weights.weight(OpClass::Sub), 3.0);
+        assert_eq!(weights.weight(OpClass::Mul), 20.0);
+    }
+}

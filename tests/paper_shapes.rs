@@ -64,10 +64,7 @@ fn table2_reproduces_the_papers_qualitative_claims() {
     // Relative ordering of the circuits matches the paper: vender saves the
     // most, gcd the least, cordic sits around 30%.
     let reduction = |name: &str| {
-        rows.iter()
-            .filter(|r| r.circuit == name)
-            .map(|r| r.power_reduction)
-            .fold(0.0f64, f64::max)
+        rows.iter().filter(|r| r.circuit == name).map(|r| r.power_reduction).fold(0.0f64, f64::max)
     };
     assert!(reduction("vender") > reduction("dealer"));
     assert!(reduction("dealer") > reduction("gcd"));
@@ -114,14 +111,10 @@ fn section_iv_extensions_behave_as_described() {
     // IV-A: reordering never loses to the default outputs-first order.
     let rows = reorder_ablation().unwrap();
     for circuit in ["dealer", "gcd", "vender"] {
-        let best = rows
-            .iter()
-            .find(|r| r.circuit == circuit && r.order == "reordered (best)")
-            .unwrap();
-        let default = rows
-            .iter()
-            .find(|r| r.circuit == circuit && r.order == "outputs-first")
-            .unwrap();
+        let best =
+            rows.iter().find(|r| r.circuit == circuit && r.order == "reordered (best)").unwrap();
+        let default =
+            rows.iter().find(|r| r.circuit == circuit && r.order == "outputs-first").unwrap();
         assert!(best.power_reduction >= default.power_reduction - 1e-9);
     }
 
