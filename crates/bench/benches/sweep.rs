@@ -1,0 +1,51 @@
+//! Scenario-sweep engine: 1-thread vs N-thread wall time, plus the value
+//! of the prefix memo cache.
+//!
+//! Prints the small-matrix sweep summary once, then measures the same plan
+//! cold (fresh engine, so every prefix is computed) at several thread
+//! counts, and finally warm (one shared engine, so every prefix is a cache
+//! hit).  The 1-vs-N ratio is the number CI tracks for the parallel
+//! speedup; on a single-core runner it hovers around 1.0 and the cached
+//! run is the one that collapses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use engine::{Engine, SweepPlan};
+use experiments::sweep::full_matrix_plan;
+
+fn bench_sweep(c: &mut Criterion) {
+    let plan: SweepPlan = full_matrix_plan(true).expect("small matrix builds");
+    {
+        let engine = Engine::new();
+        let report = engine.run(&plan, 0);
+        println!("{}", report.render());
+    }
+
+    let mut group = c.benchmark_group("sweep_small_matrix");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("cold", threads), &threads, |b, &threads| {
+            b.iter(|| {
+                // A fresh engine per run: every scheduling prefix is
+                // recomputed, so this measures real sweep work.
+                let engine = Engine::new();
+                let report = engine.run(black_box(&plan), threads);
+                black_box(report.records.len())
+            })
+        });
+    }
+
+    let warm = Engine::new();
+    warm.run(&plan, 2); // populate the cache once
+    group.bench_function("warm/2", |b| {
+        b.iter(|| {
+            let report = warm.run(black_box(&plan), 2);
+            black_box(report.records.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

@@ -9,7 +9,10 @@
 //!   datapath power estimate for every circuit/budget pair),
 //! * `table3_gate` — Table III (gate-level area and simulated power),
 //! * `ablations` — the Section IV extensions (multiplexor reordering and
-//!   pipelining) plus scheduler-cost ablations.
+//!   pipelining) plus scheduler-cost ablations,
+//! * `sweep` — the scenario-sweep engine at 1, 2 and 4 worker threads
+//!   (cold cache) and with a warm prefix cache, tracking the parallel
+//!   speedup and the cache's value.
 //!
 //! Run them all with `cargo bench --workspace`; each bench prints the table
 //! it regenerates once before measuring.

@@ -71,5 +71,6 @@ pub use crate::algorithm::{power_manage, PowerManagementOptions};
 pub use crate::cones::MuxCones;
 pub use crate::error::PowerManageError;
 pub use crate::mux_order::MuxOrder;
+pub use crate::pipeline::{pipeline_register_estimate, PipelineReport};
 pub use crate::report::{ManagedMux, PowerManagementResult};
 pub use crate::savings::{OpWeights, SavingsReport};

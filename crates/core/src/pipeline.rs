@@ -63,7 +63,7 @@ pub fn power_manage_pipelined(
     let mut pipelined_options = options.clone();
     pipelined_options.latency = effective_latency;
     let result = power_manage(cdfg, &pipelined_options)?;
-    let extra_registers = count_stage_crossings(&result, options.latency, stages);
+    let extra_registers = pipeline_register_estimate(&result, options.latency, stages);
     Ok(PipelineReport {
         stages,
         effective_latency,
@@ -75,7 +75,16 @@ pub fn power_manage_pipelined(
 
 /// Counts data values produced in one pipeline stage and consumed in a later
 /// one — each needs a pipeline register per stage boundary it crosses.
-fn count_stage_crossings(result: &PowerManagementResult, base_latency: u32, stages: u32) -> usize {
+///
+/// `result` must have been scheduled with `base_latency × stages` control
+/// steps (as [`power_manage_pipelined`] does); callers that cache one
+/// schedule and re-derive the register cost for several `(base latency,
+/// stages)` factorings of the same effective latency can call this directly.
+pub fn pipeline_register_estimate(
+    result: &PowerManagementResult,
+    base_latency: u32,
+    stages: u32,
+) -> usize {
     if stages <= 1 {
         return 0;
     }

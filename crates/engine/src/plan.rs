@@ -1,0 +1,241 @@
+//! Sweep plans: declarative expansion of a scenario matrix.
+//!
+//! A [`SweepPlanBuilder`] collects base cases (circuit, latency) plus one
+//! list per sweep dimension, expands the cross product, deduplicates it and
+//! sorts it into the canonical [`Scenario`] order.  The resulting
+//! [`SweepPlan`] is what [`crate::Engine::run`] executes.
+
+use std::collections::BTreeSet;
+
+use crate::error::EngineError;
+use crate::scenario::{BranchModel, Scenario, SchedulerKind};
+
+/// Request for Table III style gate-level metrics on every scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GateLevelSpec {
+    /// Number of random input samples to simulate per scenario.
+    pub samples: usize,
+    /// Seed for the random vector generator.
+    pub seed: u64,
+}
+
+/// A deduplicated, deterministically ordered list of scenarios, optionally
+/// with gate-level simulation enabled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepPlan {
+    scenarios: Vec<Scenario>,
+    gate_level: Option<GateLevelSpec>,
+}
+
+impl SweepPlan {
+    /// Starts building a plan.
+    pub fn builder() -> SweepPlanBuilder {
+        SweepPlanBuilder::default()
+    }
+
+    /// The scenarios, in canonical (sorted) order.
+    pub fn scenarios(&self) -> &[Scenario] {
+        &self.scenarios
+    }
+
+    /// Number of scenarios in the plan.
+    pub fn len(&self) -> usize {
+        self.scenarios.len()
+    }
+
+    /// Whether the plan is empty (never true for built plans).
+    pub fn is_empty(&self) -> bool {
+        self.scenarios.is_empty()
+    }
+
+    /// The gate-level request, if any.
+    pub fn gate_level(&self) -> Option<GateLevelSpec> {
+        self.gate_level
+    }
+}
+
+/// Builder for [`SweepPlan`].
+///
+/// Base cases come from [`case`](Self::case) (explicit circuit/latency
+/// pairs) and/or the [`circuits`](Self::circuits) ×
+/// [`latencies`](Self::latencies) cross product.  Each sweep dimension
+/// defaults to a single neutral value (force-directed, depth 1, no
+/// reordering, fair probabilities) when left unset.
+#[derive(Debug, Clone, Default)]
+pub struct SweepPlanBuilder {
+    cases: Vec<(String, u32)>,
+    circuits: Vec<String>,
+    latencies: Vec<u32>,
+    schedulers: Vec<SchedulerKind>,
+    depths: Vec<u32>,
+    reorder: Vec<bool>,
+    models: Vec<BranchModel>,
+    gate_level: Option<GateLevelSpec>,
+}
+
+impl SweepPlanBuilder {
+    /// Adds one explicit (circuit, latency) base case.
+    pub fn case(mut self, circuit: impl Into<String>, latency: u32) -> Self {
+        self.cases.push((circuit.into(), latency));
+        self
+    }
+
+    /// Adds circuits for the cross-product part of the matrix.
+    pub fn circuits<I, S>(mut self, circuits: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.circuits.extend(circuits.into_iter().map(Into::into));
+        self
+    }
+
+    /// Adds latency bounds for the cross-product part of the matrix.
+    pub fn latencies<I: IntoIterator<Item = u32>>(mut self, latencies: I) -> Self {
+        self.latencies.extend(latencies);
+        self
+    }
+
+    /// Sets the schedulers to sweep (default: force-directed only).
+    pub fn schedulers<I: IntoIterator<Item = SchedulerKind>>(mut self, schedulers: I) -> Self {
+        self.schedulers.extend(schedulers);
+        self
+    }
+
+    /// Sets the pipeline depths to sweep (default: 1, no pipelining).
+    pub fn pipeline_depths<I: IntoIterator<Item = u32>>(mut self, depths: I) -> Self {
+        self.depths.extend(depths);
+        self
+    }
+
+    /// Sets the reordering settings to sweep (default: off only).
+    pub fn reorder<I: IntoIterator<Item = bool>>(mut self, reorder: I) -> Self {
+        self.reorder.extend(reorder);
+        self
+    }
+
+    /// Sets the branch-probability models to sweep (default: fair only).
+    pub fn branch_models<I: IntoIterator<Item = BranchModel>>(mut self, models: I) -> Self {
+        self.models.extend(models);
+        self
+    }
+
+    /// Requests gate-level (Table III style) metrics for every scenario.
+    pub fn gate_level(mut self, samples: usize, seed: u64) -> Self {
+        self.gate_level = Some(GateLevelSpec { samples, seed });
+        self
+    }
+
+    /// Expands, validates, deduplicates and sorts the matrix.
+    ///
+    /// # Errors
+    ///
+    /// * [`EngineError::EmptyPlan`] when no base case was provided,
+    /// * [`EngineError::InvalidLatency`] for a zero latency bound,
+    /// * [`EngineError::InvalidPipelineDepth`] for a zero pipeline depth.
+    pub fn build(self) -> Result<SweepPlan, EngineError> {
+        let mut base = self.cases;
+        for circuit in &self.circuits {
+            for &latency in &self.latencies {
+                base.push((circuit.clone(), latency));
+            }
+        }
+        if base.is_empty() {
+            return Err(EngineError::EmptyPlan);
+        }
+        if base.iter().any(|&(_, latency)| latency == 0) {
+            return Err(EngineError::InvalidLatency);
+        }
+
+        let schedulers = if self.schedulers.is_empty() {
+            vec![SchedulerKind::default()]
+        } else {
+            self.schedulers
+        };
+        let depths = if self.depths.is_empty() { vec![1] } else { self.depths };
+        if depths.contains(&0) {
+            return Err(EngineError::InvalidPipelineDepth);
+        }
+        let reorder = if self.reorder.is_empty() { vec![false] } else { self.reorder };
+        let models =
+            if self.models.is_empty() { vec![BranchModel::default()] } else { self.models };
+
+        let mut expanded: BTreeSet<Scenario> = BTreeSet::new();
+        for (circuit, latency) in &base {
+            for &scheduler in &schedulers {
+                for &depth in &depths {
+                    for &reordering in &reorder {
+                        for &model in &models {
+                            expanded.insert(
+                                Scenario::new(circuit.clone(), *latency)
+                                    .scheduler(scheduler)
+                                    .pipeline_depth(depth)
+                                    .reorder(reordering)
+                                    .branch_model(model),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        Ok(SweepPlan { scenarios: expanded.into_iter().collect(), gate_level: self.gate_level })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_product_expands_and_sorts() {
+        let plan = SweepPlan::builder()
+            .circuits(["gcd", "dealer"])
+            .latencies([5, 4])
+            .schedulers([SchedulerKind::ForceDirected, SchedulerKind::List])
+            .build()
+            .unwrap();
+        assert_eq!(plan.len(), 8);
+        let first = &plan.scenarios()[0];
+        assert_eq!(first.circuit, "dealer");
+        assert_eq!(first.latency, 4);
+        // Sorted: all dealer scenarios precede all gcd scenarios.
+        let dealer_count = plan.scenarios().iter().take_while(|s| s.circuit == "dealer").count();
+        assert_eq!(dealer_count, 4);
+    }
+
+    #[test]
+    fn duplicates_are_removed() {
+        let plan = SweepPlan::builder()
+            .case("dealer", 4)
+            .case("dealer", 4)
+            .circuits(["dealer"])
+            .latencies([4])
+            .build()
+            .unwrap();
+        assert_eq!(plan.len(), 1);
+    }
+
+    #[test]
+    fn empty_plan_is_rejected() {
+        assert_eq!(SweepPlan::builder().build().unwrap_err(), EngineError::EmptyPlan);
+        // Circuits without latencies produce no base cases either.
+        let err = SweepPlan::builder().circuits(["dealer"]).build().unwrap_err();
+        assert_eq!(err, EngineError::EmptyPlan);
+    }
+
+    #[test]
+    fn zero_latency_and_zero_depth_are_rejected() {
+        let err = SweepPlan::builder().case("dealer", 0).build().unwrap_err();
+        assert_eq!(err, EngineError::InvalidLatency);
+        let err = SweepPlan::builder().case("dealer", 4).pipeline_depths([0]).build().unwrap_err();
+        assert_eq!(err, EngineError::InvalidPipelineDepth);
+    }
+
+    #[test]
+    fn gate_level_is_carried() {
+        let plan = SweepPlan::builder().case("dealer", 4).gate_level(100, 7).build().unwrap();
+        assert_eq!(plan.gate_level(), Some(GateLevelSpec { samples: 100, seed: 7 }));
+        assert!(!plan.is_empty());
+    }
+}

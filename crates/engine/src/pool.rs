@@ -1,0 +1,133 @@
+//! A hand-rolled work-stealing thread pool over `std::thread`.
+//!
+//! The build environment vendors no external crates, so this is a minimal
+//! scoped fork-join pool: jobs are dealt round-robin onto one deque per
+//! worker; a worker pops from the *front* of its own deque and, when empty,
+//! steals from the *back* of the others, so large scenarios queued on one
+//! worker get redistributed instead of serialising the sweep.  Because jobs
+//! never spawn further jobs, a worker may exit as soon as every deque is
+//! empty.
+//!
+//! Results are written into a slot indexed by the job's position in the
+//! input, so the output order equals the input order no matter which worker
+//! ran what — the property the sweep determinism tests pin down.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::thread;
+
+/// Applies `f` to every item on `threads` worker threads and returns the
+/// results in input order.
+///
+/// `threads` is clamped to `1..=items.len()`; with one thread (or one item)
+/// everything runs on the calling thread, which keeps single-threaded runs
+/// free of synchronisation entirely.
+pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let jobs = items.len();
+    if jobs == 0 {
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(jobs);
+    if threads == 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Deal jobs round-robin onto one deque per worker.
+    let queues: Vec<Mutex<VecDeque<(usize, T)>>> =
+        (0..threads).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (index, item) in items.into_iter().enumerate() {
+        queues[index % threads].lock().expect("queue lock").push_back((index, item));
+    }
+    let results: Vec<Mutex<Option<R>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
+
+    thread::scope(|scope| {
+        for worker in 0..threads {
+            let queues = &queues;
+            let results = &results;
+            scope.spawn(move || {
+                while let Some((index, item)) = next_job(queues, worker) {
+                    let result = f(item);
+                    *results[index].lock().expect("result lock") = Some(result);
+                }
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("result lock").expect("every job ran"))
+        .collect()
+}
+
+/// Pops the next job: own deque front first, then steal from the back of
+/// the other deques. `None` means every deque is empty, and since jobs never
+/// enqueue new jobs the worker can exit.
+fn next_job<T>(queues: &[Mutex<VecDeque<(usize, T)>>], worker: usize) -> Option<(usize, T)> {
+    if let Some(job) = queues[worker].lock().expect("queue lock").pop_front() {
+        return Some(job);
+    }
+    let n = queues.len();
+    for offset in 1..n {
+        let victim = (worker + offset) % n;
+        if let Some(job) = queues[victim].lock().expect("queue lock").pop_back() {
+            return Some(job);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn preserves_input_order_for_any_thread_count() {
+        let items: Vec<u64> = (0..100).collect();
+        for threads in [1, 2, 3, 8, 200] {
+            let out = parallel_map(items.clone(), threads, &|x| x * 2);
+            assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn runs_every_job_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let out = parallel_map((0..57).collect::<Vec<u32>>(), 4, &|x| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            x
+        });
+        assert_eq!(out.len(), 57);
+        assert_eq!(counter.load(Ordering::SeqCst), 57);
+    }
+
+    #[test]
+    fn uneven_job_costs_are_stolen() {
+        // One expensive job on worker 0's deque plus many cheap ones: the
+        // cheap ones must still all complete (stolen by idle workers).
+        let out = parallel_map((0..32).collect::<Vec<u64>>(), 4, &|x| {
+            if x == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            x + 1
+        });
+        assert_eq!(out, (1..=32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_returns_empty() {
+        let out: Vec<u32> = parallel_map(Vec::<u32>::new(), 8, &|x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn zero_threads_is_clamped_to_one() {
+        let out = parallel_map(vec![1, 2, 3], 0, &|x| x);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+}

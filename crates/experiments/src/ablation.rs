@@ -1,11 +1,18 @@
 //! Ablations for the design choices of Section IV: multiplexor reordering
 //! (IV-A) and pipelining (IV-B), plus the choice of final scheduler.
 
-use cdfg::Cdfg;
-use circuits::{all_benchmarks, dealer, gcd, vender};
-use pmsched::algorithm::power_manage_reordered;
-use pmsched::pipeline::power_manage_pipelined;
-use pmsched::{power_manage, MuxOrder, PowerManageError, PowerManagementOptions};
+use circuits::all_benchmarks;
+use engine::{Engine, Scenario, SweepPlan};
+use pmsched::{power_manage, MuxOrder, PowerManagementOptions};
+
+use crate::{metrics_for, ExperimentError};
+
+/// The (circuit, control steps) cases of the Section IV-A reorder ablation.
+const REORDER_CASES: [(&str, u32); 3] = [("dealer", 5), ("gcd", 6), ("vender", 6)];
+
+/// The (circuit, throughput steps) cases of the Section IV-B pipeline
+/// ablation: each circuit at its critical-path throughput.
+const PIPELINE_CASES: [(&str, u32); 3] = [("dealer", 4), ("gcd", 5), ("vender", 5)];
 
 /// The effect of one multiplexor processing order on one circuit.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,36 +33,57 @@ pub struct ReorderRow {
 /// benchmarks: outputs-first (the paper's default), inputs-first,
 /// savings-driven, and the best order found by the reordering search.
 ///
+/// The two scenario-expressible rows (default order and reordering search)
+/// run through the sweep engine; the inputs-first and by-savings baselines
+/// use explicit mux orders the scenario matrix does not span.
+///
 /// # Errors
 ///
 /// Propagates scheduling failures.
-pub fn reorder_ablation() -> Result<Vec<ReorderRow>, PowerManageError> {
+pub fn reorder_ablation() -> Result<Vec<ReorderRow>, ExperimentError> {
+    let mut builder = SweepPlan::builder();
+    for (circuit, steps) in REORDER_CASES {
+        builder = builder.case(circuit, steps);
+    }
+    let plan = builder.reorder([false, true]).build()?;
+    let engine = Engine::new();
+    let report = engine.run(&plan, 0);
+
     let mut rows = Vec::new();
-    let cases: Vec<(Cdfg, u32)> = vec![(dealer(), 5), (gcd(), 6), (vender(), 6)];
-    for (cdfg, steps) in cases {
-        let orders: Vec<(&str, MuxOrder)> = vec![
-            ("outputs-first", MuxOrder::OutputsFirst),
-            ("inputs-first", MuxOrder::InputsFirst),
-            ("by-savings", MuxOrder::BySavings),
-        ];
-        for (label, order) in orders {
+    for (circuit, steps) in REORDER_CASES {
+        let default = metrics_for(&report, &Scenario::new(circuit, steps))?;
+        rows.push(ReorderRow {
+            circuit: circuit.to_owned(),
+            control_steps: steps,
+            order: "outputs-first".to_owned(),
+            pm_muxes: default.pm_muxes,
+            power_reduction: default.power_reduction,
+        });
+        let cdfg = engine.circuit(circuit).expect("registry circuit").clone();
+        for (label, order) in
+            [("inputs-first", MuxOrder::InputsFirst), ("by-savings", MuxOrder::BySavings)]
+        {
             let result =
-                power_manage(&cdfg, &PowerManagementOptions::with_latency(steps).mux_order(order))?;
+                power_manage(&cdfg, &PowerManagementOptions::with_latency(steps).mux_order(order))
+                    .map_err(|e| ExperimentError {
+                        context: format!("{circuit}@{steps} {label}"),
+                        message: e.to_string(),
+                    })?;
             rows.push(ReorderRow {
-                circuit: cdfg.name().to_owned(),
+                circuit: circuit.to_owned(),
                 control_steps: steps,
                 order: label.to_owned(),
                 pm_muxes: result.managed_mux_count(),
                 power_reduction: result.savings().reduction_percent,
             });
         }
-        let best = power_manage_reordered(&cdfg, &PowerManagementOptions::with_latency(steps), 5)?;
+        let best = metrics_for(&report, &Scenario::new(circuit, steps).reorder(true))?;
         rows.push(ReorderRow {
-            circuit: cdfg.name().to_owned(),
+            circuit: circuit.to_owned(),
             control_steps: steps,
             order: "reordered (best)".to_owned(),
-            pm_muxes: best.managed_mux_count(),
-            power_reduction: best.savings().reduction_percent,
+            pm_muxes: best.pm_muxes,
+            power_reduction: best.power_reduction,
         });
     }
     Ok(rows)
@@ -81,30 +109,34 @@ pub struct PipelineRow {
     pub extra_registers: usize,
 }
 
-/// Runs the pipelining ablation (Section IV-B): each circuit at its
-/// critical-path throughput with 1, 2 and 3 pipeline stages.
+/// Runs the pipelining ablation (Section IV-B) through the sweep engine:
+/// each circuit at its critical-path throughput with 1, 2 and 3 pipeline
+/// stages.
 ///
 /// # Errors
 ///
 /// Propagates scheduling failures.
-pub fn pipeline_ablation() -> Result<Vec<PipelineRow>, PowerManageError> {
+pub fn pipeline_ablation() -> Result<Vec<PipelineRow>, ExperimentError> {
+    let mut builder = SweepPlan::builder();
+    for (circuit, steps) in PIPELINE_CASES {
+        builder = builder.case(circuit, steps);
+    }
+    let plan = builder.pipeline_depths([1, 2, 3]).build()?;
+    let report = Engine::new().run(&plan, 0);
+
     let mut rows = Vec::new();
-    let cases: Vec<(Cdfg, u32)> = vec![(dealer(), 4), (gcd(), 5), (vender(), 5)];
-    for (cdfg, steps) in cases {
+    for (circuit, steps) in PIPELINE_CASES {
         for stages in 1..=3u32 {
-            let report = power_manage_pipelined(
-                &cdfg,
-                &PowerManagementOptions::with_latency(steps),
-                stages,
-            )?;
+            let metrics =
+                metrics_for(&report, &Scenario::new(circuit, steps).pipeline_depth(stages))?;
             rows.push(PipelineRow {
-                circuit: cdfg.name().to_owned(),
+                circuit: circuit.to_owned(),
                 throughput_steps: steps,
                 stages,
-                effective_steps: report.effective_latency,
-                pm_muxes: report.result.managed_mux_count(),
-                power_reduction: report.reduction_percent(),
-                extra_registers: report.extra_registers,
+                effective_steps: metrics.effective_latency,
+                pm_muxes: metrics.pm_muxes,
+                power_reduction: metrics.power_reduction,
+                extra_registers: metrics.extra_registers,
             });
         }
     }
@@ -156,13 +188,20 @@ pub fn render_pipeline(rows: &[PipelineRow]) -> String {
 /// # Errors
 ///
 /// Propagates scheduling failures.
-pub fn never_worse_than_baseline() -> Result<bool, PowerManageError> {
+pub fn never_worse_than_baseline() -> Result<bool, ExperimentError> {
+    let mut builder = SweepPlan::builder();
     for bench in all_benchmarks() {
         for &steps in &bench.control_steps {
-            let result = power_manage(&bench.cdfg, &PowerManagementOptions::with_latency(steps))?;
-            if result.savings().reduction_percent < -1e-9 {
-                return Ok(false);
-            }
+            builder = builder.case(bench.name, steps);
+        }
+    }
+    let report = Engine::new().run(&builder.build()?, 0);
+    for record in &report.records {
+        let metrics = record
+            .metrics()
+            .ok_or_else(|| ExperimentError::for_record(&record.scenario, Some(record)))?;
+        if metrics.power_reduction < -1e-9 {
+            return Ok(false);
         }
     }
     Ok(true)

@@ -1,6 +1,12 @@
 //! Prints the branch-probability sensitivity sweep for every benchmark at
-//! its largest Table II control-step budget.
+//! its largest Table II control-step budget.  `--json` emits the engine's
+//! machine-readable sweep report instead of the pretty tables.
 fn main() {
+    let json = std::env::args().skip(1).any(|a| a == "--json");
+    if json {
+        print!("{}", experiments::sensitivity::sensitivity_report(10).to_json());
+        return;
+    }
     for bench in circuits::all_benchmarks() {
         let steps = *bench.control_steps.last().expect("budgets are non-empty");
         match experiments::sensitivity::sweep(&bench.cdfg, steps, 10) {

@@ -1,0 +1,76 @@
+//! Runs the full scenario matrix (circuit × latency × scheduler × pipeline
+//! depth × reordering × branch model) over all Table I circuits on the
+//! parallel sweep engine.
+//!
+//! ```text
+//! cargo run --release -p experiments --bin sweep [-- --json|--csv]
+//!     [--threads N] [--small]
+//! ```
+//!
+//! * `--json` / `--csv` — machine-readable output instead of the pretty
+//!   report,
+//! * `--threads N` — worker threads (default: one per CPU),
+//! * `--small` — the CI smoke matrix (no cordic, no pipelining, fair
+//!   probabilities only).
+
+use std::process::exit;
+
+enum Format {
+    Pretty,
+    Json,
+    Csv,
+}
+
+fn main() {
+    let mut format = Format::Pretty;
+    let mut threads = 0usize;
+    let mut small = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => format = Format::Json,
+            "--csv" => format = Format::Csv,
+            "--small" => small = true,
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--threads needs a positive integer"));
+            }
+            other => usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let (report, cache) = match experiments::sweep::run_full_matrix(small, threads) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("sweep failed: {e}");
+            exit(1);
+        }
+    };
+
+    match format {
+        Format::Json => print!("{}", report.to_json()),
+        Format::Csv => print!("{}", report.to_csv()),
+        Format::Pretty => {
+            print!("{}", report.render());
+            println!(
+                "\n{} scenarios ({} failed); prefix cache: {} computed, {} reused",
+                report.records.len(),
+                report.failure_count(),
+                cache.misses,
+                cache.hits
+            );
+        }
+    }
+    if report.failure_count() > 0 {
+        exit(1);
+    }
+}
+
+fn usage(problem: &str) -> ! {
+    eprintln!("sweep: {problem}");
+    eprintln!("usage: sweep [--json|--csv] [--threads N] [--small]");
+    exit(2);
+}

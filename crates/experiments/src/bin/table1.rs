@@ -1,5 +1,11 @@
-//! Prints Table I (circuit statistics).
+//! Prints Table I (circuit statistics).  `--json` emits the
+//! machine-readable report instead of the pretty table.
 fn main() {
+    let json = std::env::args().skip(1).any(|a| a == "--json");
     let rows = experiments::table1::table1();
-    print!("{}", experiments::table1::render(&rows));
+    if json {
+        print!("{}", experiments::table1::to_json(&rows));
+    } else {
+        print!("{}", experiments::table1::render(&rows));
+    }
 }

@@ -1,6 +1,12 @@
 //! Prints Table II (expected operation executions and datapath power
-//! reduction under power management).
+//! reduction under power management).  `--json` emits the engine's
+//! machine-readable sweep report instead of the pretty table.
 fn main() {
+    let json = std::env::args().skip(1).any(|a| a == "--json");
+    if json {
+        print!("{}", experiments::table2::table2_report().to_json());
+        return;
+    }
     match experiments::table2::table2() {
         Ok(rows) => print!("{}", experiments::table2::render(&rows)),
         Err(e) => {

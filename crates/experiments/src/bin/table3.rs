@@ -1,5 +1,13 @@
-//! Prints Table III (gate-level area and power comparison).
+//! Prints Table III (gate-level area and power comparison).  `--json`
+//! emits the engine's machine-readable sweep report instead of the pretty
+//! table.
 fn main() {
+    let json = std::env::args().skip(1).any(|a| a == "--json");
+    if json {
+        let report = experiments::table3::table3_report(experiments::table3::DEFAULT_SAMPLES);
+        print!("{}", report.to_json());
+        return;
+    }
     match experiments::table3::table3() {
         Ok(rows) => print!("{}", experiments::table3::render(&rows)),
         Err(e) => {

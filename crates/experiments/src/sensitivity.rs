@@ -8,10 +8,12 @@
 //! savings do *not* necessarily occur at the fair point (they do only when
 //! the two branches cost the same).
 
+use std::collections::BTreeSet;
+
 use cdfg::Cdfg;
-use pmsched::{
-    power_manage, OpWeights, PowerManageError, PowerManagementOptions, SelectProbabilities,
-};
+use engine::{BranchModel, Engine, Scenario, SweepPlan, SweepReport};
+
+use crate::{metrics_for, ExperimentError};
 
 /// Savings at one swept probability point.
 #[derive(Debug, Clone, PartialEq)]
@@ -48,32 +50,72 @@ impl SensitivityReport {
     }
 }
 
+/// The branch models of a `steps`-increment probability sweep: permille
+/// values from 0 to 1000, deduplicated and ascending.
+fn sweep_models(steps: usize) -> Vec<BranchModel> {
+    let steps = steps.max(1);
+    let unique: BTreeSet<BranchModel> =
+        (0..=steps).map(|i| BranchModel::biased(((i * 1000) / steps) as u16)).collect();
+    unique.into_iter().collect()
+}
+
 /// Sweeps the select probability of every multiplexor of `cdfg` from 0 to 1
-/// in `steps` increments and records the datapath savings at each point.
+/// in `steps` increments (permille resolution) and records the datapath
+/// savings at each point.  All probability points share one engine-cached
+/// schedule: the scheduling prefix is computed exactly once.
+///
+/// Probabilities are rounded down to permille and duplicate points are
+/// merged, so the report holds `steps + 1` points only when `steps` divides
+/// 1000 (at most 1001 points otherwise).
 ///
 /// # Errors
 ///
-/// Propagates scheduling failures from [`power_manage`].
+/// Propagates scheduling failures from the engine.
 pub fn sweep(
     cdfg: &Cdfg,
     control_steps: u32,
     steps: usize,
-) -> Result<SensitivityReport, PowerManageError> {
-    let result = power_manage(cdfg, &PowerManagementOptions::with_latency(control_steps))?;
-    let weights = OpWeights::paper_power();
-    let muxes = result.cdfg().mux_nodes();
-    let mut points = Vec::with_capacity(steps + 1);
-    for i in 0..=steps {
-        let p = i as f64 / steps as f64;
-        let mut probs = SelectProbabilities::fair();
-        for &mux in &muxes {
-            probs.set(mux, p);
-        }
-        let savings = result.savings_with(&probs, &weights);
-        points
-            .push(SensitivityPoint { p_select_one: p, power_reduction: savings.reduction_percent });
+) -> Result<SensitivityReport, ExperimentError> {
+    let mut engine = Engine::new();
+    engine.register_circuit(cdfg.clone());
+    let models = sweep_models(steps);
+    let plan = SweepPlan::builder()
+        .case(cdfg.name(), control_steps)
+        .branch_models(models.clone())
+        .build()?;
+    let report = engine.run(&plan, 0);
+
+    let mut points = Vec::with_capacity(models.len());
+    for model in models {
+        let scenario = Scenario::new(cdfg.name(), control_steps).branch_model(model);
+        let metrics = metrics_for(&report, &scenario)?;
+        points.push(SensitivityPoint {
+            p_select_one: model.p_select_one(),
+            power_reduction: metrics.power_reduction,
+        });
     }
     Ok(SensitivityReport { circuit: cdfg.name().to_owned(), control_steps, points })
+}
+
+/// The engine plan behind the `sensitivity` binary: every benchmark at its
+/// largest Table II budget, with the full probability sweep as the
+/// branch-model dimension.
+pub fn sensitivity_plan(steps: usize) -> SweepPlan {
+    let mut builder = SweepPlan::builder();
+    for bench in circuits::all_benchmarks() {
+        let &budget = bench.control_steps.last().expect("budgets are non-empty");
+        builder = builder.case(bench.name, budget);
+    }
+    builder
+        .branch_models(sweep_models(steps))
+        .build()
+        .expect("sensitivity plan is non-empty and valid")
+}
+
+/// Runs [`sensitivity_plan`] through the engine (the `--json` output of the
+/// `sensitivity` binary).
+pub fn sensitivity_report(steps: usize) -> SweepReport {
+    Engine::new().run(&sensitivity_plan(steps), 0)
 }
 
 /// Renders a sweep as a small text table.

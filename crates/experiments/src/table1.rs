@@ -10,6 +10,32 @@ pub fn table1() -> Vec<Table1Row> {
     all_benchmarks().iter().map(|b| CircuitStats::of(&b.cdfg)).collect()
 }
 
+/// Renders Table I as machine-readable JSON (the `--json` output of the
+/// `table1` binary).
+pub fn to_json(rows: &[Table1Row]) -> String {
+    use engine::report::json_string;
+    let mut out = String::from("[");
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"circuit\": {}, \"critical_path\": {}, \"mux\": {}, \"comp\": {}, \
+             \"add\": {}, \"sub\": {}, \"mul\": {}, \"nodes\": {}}}",
+            json_string(&row.name),
+            row.critical_path,
+            row.counts.mux,
+            row.counts.comp,
+            row.counts.add,
+            row.counts.sub,
+            row.counts.mul,
+            row.node_count,
+        ));
+    }
+    out.push_str("\n]\n");
+    out
+}
+
 /// Renders Table I in the paper's layout.
 pub fn render(rows: &[Table1Row]) -> String {
     let mut out = String::new();
@@ -48,6 +74,16 @@ mod tests {
             assert_eq!(row.counts.sub, sub, "{name}");
             assert_eq!(row.counts.mul, mul, "{name}");
         }
+    }
+
+    #[test]
+    fn json_lists_every_circuit_once() {
+        let json = to_json(&table1());
+        for name in ["dealer", "gcd", "vender", "cordic"] {
+            assert_eq!(json.matches(name).count(), 1, "{name}");
+        }
+        assert!(json.contains("\"critical_path\": 48"));
+        assert!(json.starts_with('[') && json.ends_with("]\n"));
     }
 
     #[test]

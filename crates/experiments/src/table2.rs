@@ -3,9 +3,12 @@
 
 use cdfg::{Cdfg, OpClass};
 use circuits::all_benchmarks;
+use engine::{Engine, Scenario, SweepPlan, SweepReport};
 use pmsched::{
     power_manage, OpWeights, PowerManageError, PowerManagementOptions, SelectProbabilities,
 };
+
+use crate::{metrics_for, ExperimentError};
 
 /// One row of Table II.
 #[derive(Debug, Clone, PartialEq)]
@@ -71,17 +74,51 @@ pub fn table2_for(cdfg: &Cdfg, control_steps: u32) -> Result<Table2Row, PowerMan
     })
 }
 
+/// The declarative Table II sweep plan: every benchmark at every
+/// control-step budget the paper evaluates, with every knob at the paper's
+/// defaults (force-directed scheduler, no pipelining, no reordering, fair
+/// branch probabilities).
+pub fn table2_plan() -> SweepPlan {
+    let mut builder = SweepPlan::builder();
+    for bench in all_benchmarks() {
+        for &steps in &bench.control_steps {
+            builder = builder.case(bench.name, steps);
+        }
+    }
+    builder.build().expect("Table II plan is non-empty and valid")
+}
+
+/// Runs the Table II sweep through the parallel engine and returns the raw
+/// engine report (the `--json` output of the `table2` binary).
+pub fn table2_report() -> SweepReport {
+    Engine::new().run(&table2_plan(), 0)
+}
+
 /// Computes all Table II rows (every benchmark at every control-step budget
-/// evaluated in the paper).
+/// evaluated in the paper), through the sweep engine.
 ///
 /// # Errors
 ///
-/// Propagates the first scheduling failure.
-pub fn table2() -> Result<Vec<Table2Row>, PowerManageError> {
+/// Reports the first scenario the engine could not execute.
+pub fn table2() -> Result<Vec<Table2Row>, ExperimentError> {
+    rows_from_report(&table2_report())
+}
+
+/// Translates the engine report into the paper's row order (benchmark
+/// order, then ascending control steps).
+fn rows_from_report(report: &SweepReport) -> Result<Vec<Table2Row>, ExperimentError> {
     let mut rows = Vec::new();
     for bench in all_benchmarks() {
         for &steps in &bench.control_steps {
-            rows.push(table2_for(&bench.cdfg, steps)?);
+            let metrics = metrics_for(report, &Scenario::new(bench.name, steps))?;
+            rows.push(Table2Row {
+                circuit: bench.name.to_owned(),
+                control_steps: steps,
+                pm_muxes: metrics.pm_muxes,
+                area_increase: metrics.area_increase,
+                expected: metrics.expected,
+                power_reduction: metrics.power_reduction,
+            });
         }
     }
     Ok(rows)
@@ -179,6 +216,20 @@ mod tests {
         let best = rows.iter().map(|r| r.power_reduction).fold(0.0f64, f64::max);
         assert!(best > 30.0, "best saving should approach the paper's 40%: {best}");
         assert!(best <= 60.0, "savings stay physically plausible: {best}");
+    }
+
+    #[test]
+    fn engine_path_reproduces_the_direct_path_exactly() {
+        // The golden guarantee of the sweep rewrite: routing Table II
+        // through the parallel engine changes no number.
+        let engine_rows = table2().unwrap();
+        let mut direct_rows = Vec::new();
+        for bench in all_benchmarks() {
+            for &steps in &bench.control_steps {
+                direct_rows.push(table2_for(&bench.cdfg, steps).unwrap());
+            }
+        }
+        assert_eq!(engine_rows, direct_rows);
     }
 
     #[test]

@@ -2,8 +2,13 @@
 //! Compiler / DesignPower substitute).
 
 use cdfg::Cdfg;
-use circuits::{dealer, gcd, vender};
+use engine::{Engine, Scenario, SweepPlan, SweepReport};
 use power::estimate::{gate_level_comparison, EstimateError, GateLevelOptions};
+
+use crate::{metrics_for, ExperimentError};
+
+/// The (circuit, control steps) pairs the paper synthesised for Table III.
+const TABLE3_CASES: [(&str, u32); 3] = [("dealer", 6), ("gcd", 7), ("vender", 6)];
 
 /// One row of Table III.
 #[derive(Debug, Clone, PartialEq)]
@@ -72,18 +77,50 @@ pub fn table3_for(
     })
 }
 
-/// Computes the three rows of Table III (dealer at 6 steps, gcd at 7,
-/// vender at 6 — the same budgets the paper synthesised).
+/// The declarative Table III sweep plan (dealer at 6 steps, gcd at 7,
+/// vender at 6 — the same budgets the paper synthesised), with gate-level
+/// simulation of `samples` random vectors per scenario.
+pub fn table3_plan(samples: usize) -> SweepPlan {
+    let mut builder = SweepPlan::builder();
+    for (circuit, steps) in TABLE3_CASES {
+        builder = builder.case(circuit, steps);
+    }
+    builder.gate_level(samples, 0xDAC96).build().expect("Table III plan is non-empty and valid")
+}
+
+/// Runs the Table III sweep through the parallel engine and returns the raw
+/// engine report (the `--json` output of the `table3` binary).
+pub fn table3_report(samples: usize) -> SweepReport {
+    Engine::new().run(&table3_plan(samples), 0)
+}
+
+/// Computes the three rows of Table III through the sweep engine.
 ///
 /// # Errors
 ///
-/// Propagates the first failure.
-pub fn table3() -> Result<Vec<Table3Row>, EstimateError> {
-    Ok(vec![
-        table3_for(&dealer(), 6, DEFAULT_SAMPLES)?,
-        table3_for(&gcd(), 7, DEFAULT_SAMPLES)?,
-        table3_for(&vender(), 6, DEFAULT_SAMPLES)?,
-    ])
+/// Reports the first scenario the engine could not execute.
+pub fn table3() -> Result<Vec<Table3Row>, ExperimentError> {
+    let report = table3_report(DEFAULT_SAMPLES);
+    let mut rows = Vec::new();
+    for (circuit, steps) in TABLE3_CASES {
+        let scenario = Scenario::new(circuit, steps);
+        let gate =
+            metrics_for(&report, &scenario)?.gate.as_ref().ok_or_else(|| ExperimentError {
+                context: scenario.to_string(),
+                message: "gate-level metrics missing from sweep report".to_owned(),
+            })?;
+        rows.push(Table3Row {
+            circuit: circuit.to_owned(),
+            control_steps: steps,
+            orig_area: gate.original_area,
+            new_area: gate.managed_area,
+            area_increase: gate.area_ratio,
+            orig_power: gate.original_power,
+            new_power: gate.managed_power,
+            power_reduction: gate.power_reduction,
+        });
+    }
+    Ok(rows)
 }
 
 /// Renders Table III in the paper's layout.
@@ -105,6 +142,7 @@ pub fn render(rows: &[Table3Row]) -> String {
 mod tests {
     use super::*;
     use crate::table2::table2_for;
+    use circuits::{dealer, gcd, vender};
 
     #[test]
     fn table3_rows_reproduce_the_paper_shape() {
@@ -146,6 +184,19 @@ mod tests {
             );
             assert!(gate_row.power_reduction > 0.0);
         }
+    }
+
+    #[test]
+    fn engine_path_reproduces_the_direct_path_exactly() {
+        // The engine's cached-prefix gate-level path must emit the same
+        // bytes as the original direct flow, sample for sample.
+        let engine_rows = table3().unwrap();
+        let direct_rows = vec![
+            table3_for(&dealer(), 6, DEFAULT_SAMPLES).unwrap(),
+            table3_for(&gcd(), 7, DEFAULT_SAMPLES).unwrap(),
+            table3_for(&vender(), 6, DEFAULT_SAMPLES).unwrap(),
+        ];
+        assert_eq!(engine_rows, direct_rows);
     }
 
     #[test]

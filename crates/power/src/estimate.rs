@@ -172,9 +172,23 @@ pub fn gate_level_comparison(
     let pm_options =
         PowerManagementOptions::with_resources(options.latency, options.resources.clone());
     let result = power_manage(cdfg, &pm_options)?;
+    gate_level_with_result(cdfg, &result, options)
+}
 
+/// Same flow as [`gate_level_comparison`], but reusing an already computed
+/// power-management result (whose latency must match `options.latency`) so
+/// callers that cache the scheduling prefix do not pay for it twice.
+///
+/// # Errors
+///
+/// Returns an [`EstimateError`] if binding or simulation fails.
+pub fn gate_level_with_result(
+    cdfg: &Cdfg,
+    result: &PowerManagementResult,
+    options: &GateLevelOptions,
+) -> Result<GateLevelReport, EstimateError> {
     // Managed design.
-    let managed_controller = Controller::generate(&result);
+    let managed_controller = Controller::generate(result);
     let managed_datapath = Datapath::build(result.cdfg(), result.schedule())?;
     // Original (baseline) design: same constraints, traditional schedule,
     // ungated controller.  Note the baseline uses the original CDFG without

@@ -40,5 +40,7 @@
 pub mod estimate;
 pub mod vectors;
 
-pub use crate::estimate::{GateLevelOptions, GateLevelReport};
+pub use crate::estimate::{
+    gate_level_comparison, gate_level_with_result, GateLevelOptions, GateLevelReport,
+};
 pub use crate::vectors::RandomVectors;

@@ -1,7 +1,7 @@
 //! Umbrella crate for the DAC'96 power-management-scheduling reproduction.
 //!
 //! The actual functionality lives in the member crates (`cdfg`, `silage`,
-//! `sched`, `pmsched`, `binding`, `rtl`, `power`, `circuits`,
+//! `sched`, `pmsched`, `binding`, `rtl`, `power`, `circuits`, `engine`,
 //! `experiments`); this root package exists so the workspace-level
 //! integration tests in `tests/` and the walkthroughs in `examples/` have a
 //! home.  It re-exports the member crates for convenience.
@@ -9,6 +9,7 @@
 pub use binding;
 pub use cdfg;
 pub use circuits;
+pub use engine;
 pub use experiments;
 pub use pmsched;
 pub use power;
