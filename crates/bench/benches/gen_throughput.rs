@@ -1,0 +1,93 @@
+//! Engine throughput (scenarios per second) on *generated* workloads, at 1
+//! vs N worker threads.
+//!
+//! The sweep bench (`benches/sweep.rs`) times the paper's 32-scenario smoke
+//! matrix; this one feeds the engine a synthetic batch from `crates/gen` —
+//! the workload shape `sweep --gen` runs at count=thousands — and reports
+//! scenarios/sec so the parallel-speedup number is comparable across
+//! workload sizes.  Cold runs use a fresh engine (every scheduling prefix
+//! computed); the warm run measures pure cache-hit dispatch.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use circuits::Benchmark;
+use engine::{Engine, SweepPlan};
+use experiments::genweep::batch_plan;
+use gen::{Family, GenSpec};
+
+/// A mixed batch: mostly random DAGs plus a slice of mux trees, sized to
+/// keep the bench under a few seconds while still dominating fixed costs.
+fn bench_specs() -> Vec<GenSpec> {
+    vec![GenSpec::new(Family::RandomDag, 42, 48), GenSpec::new(Family::MuxTree, 42, 16)]
+}
+
+/// A fresh engine with the generated batch registered — the cold-start
+/// state every timed iteration begins from.
+fn cold_engine(batch: &[Benchmark]) -> Engine {
+    let mut engine = Engine::new();
+    engine.register_benchmarks(batch.to_vec());
+    engine
+}
+
+fn scenarios_per_second(batch: &[Benchmark], plan: &SweepPlan, threads: usize) -> f64 {
+    let engine = cold_engine(batch);
+    let start = Instant::now();
+    let report = engine.run(plan, threads);
+    let elapsed = start.elapsed().as_secs_f64();
+    report.records.len() as f64 / elapsed.max(1e-9)
+}
+
+fn bench_gen_throughput(c: &mut Criterion) {
+    let specs = bench_specs();
+    // One generation for the whole bench; every timed iteration reuses it.
+    let batch: Vec<Benchmark> =
+        specs.iter().flat_map(|s| gen::generate(s).expect("valid spec")).collect();
+    let plan: SweepPlan = batch_plan(&batch).expect("bench batch is valid");
+    // The headline scenarios/sec number CI tracks, one cold run per thread
+    // count (the criterion samples below re-measure the same work).
+    println!(
+        "generated plan: {} scenarios over {} circuits; throughput at 1 thread: \
+         {:.0} scen/s, at 4 threads: {:.0} scen/s",
+        plan.len(),
+        batch.len(),
+        scenarios_per_second(&batch, &plan, 1),
+        scenarios_per_second(&batch, &plan, 4),
+    );
+
+    let mut group = c.benchmark_group("gen_throughput");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("cold", threads), &threads, |b, &threads| {
+            b.iter(|| {
+                let engine = cold_engine(&batch);
+                let report = engine.run(black_box(&plan), threads);
+                black_box(report.records.len())
+            })
+        });
+    }
+
+    let warm = cold_engine(&batch);
+    warm.run(&plan, 2);
+    group.bench_function("warm/2", |b| {
+        b.iter(|| {
+            let report = warm.run(black_box(&plan), 2);
+            black_box(report.records.len())
+        })
+    });
+
+    // Generation itself should stay a rounding error next to scheduling.
+    group.bench_function("generate_only", |b| {
+        b.iter(|| {
+            for spec in &specs {
+                black_box(gen::generate(spec).expect("valid spec"));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gen_throughput);
+criterion_main!(benches);

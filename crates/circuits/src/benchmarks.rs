@@ -7,15 +7,21 @@
 
 use cdfg::{Cdfg, CdfgBuilder, NodeId, Op};
 
-/// A named benchmark circuit together with the control-step budgets the
-/// paper evaluates it at (column 2 of Table II).
+/// A named benchmark circuit together with the control-step budgets it is
+/// evaluated at (column 2 of Table II for the paper circuits; critical-path
+/// derived budgets for generated workloads).
+///
+/// The name is owned so the type covers synthetically generated circuits
+/// (whose names embed generator parameters) as well as the paper's four.
+/// It always equals `cdfg.name()`, which is what the sweep engine keys its
+/// circuit registry and prefix cache on.
 #[derive(Debug, Clone)]
 pub struct Benchmark {
-    /// Circuit name as it appears in the paper's tables.
-    pub name: &'static str,
+    /// Circuit name as it appears in reports and the engine registry.
+    pub name: String,
     /// The design itself.
     pub cdfg: Cdfg,
-    /// Control-step budgets evaluated in Table II.
+    /// Control-step budgets to evaluate the circuit at.
     pub control_steps: Vec<u32>,
 }
 
@@ -23,10 +29,10 @@ pub struct Benchmark {
 /// control-step budgets.
 pub fn all_benchmarks() -> Vec<Benchmark> {
     vec![
-        Benchmark { name: "dealer", cdfg: dealer(), control_steps: vec![4, 5, 6] },
-        Benchmark { name: "gcd", cdfg: gcd(), control_steps: vec![5, 6, 7] },
-        Benchmark { name: "vender", cdfg: vender(), control_steps: vec![5, 6] },
-        Benchmark { name: "cordic", cdfg: cordic(), control_steps: vec![48, 52] },
+        Benchmark { name: "dealer".to_owned(), cdfg: dealer(), control_steps: vec![4, 5, 6] },
+        Benchmark { name: "gcd".to_owned(), cdfg: gcd(), control_steps: vec![5, 6, 7] },
+        Benchmark { name: "vender".to_owned(), cdfg: vender(), control_steps: vec![5, 6] },
+        Benchmark { name: "cordic".to_owned(), cdfg: cordic(), control_steps: vec![48, 52] },
     ]
 }
 
@@ -186,6 +192,16 @@ pub fn cordic_with_iterations(iterations: u32) -> Cdfg {
     build_cordic(&format!("cordic{iterations}"), iterations, false)
 }
 
+/// A CORDIC rotator under a caller-chosen name.
+///
+/// The synthetic workload generator uses this to register scaled variants
+/// whose names embed the generator parameters (the sweep engine keys its
+/// circuit registry and prefix cache on the name, so the name must be a
+/// faithful function of the structure).
+pub fn cordic_named(name: &str, iterations: u32, trimmed_tail: bool) -> Cdfg {
+    build_cordic(name, iterations, trimmed_tail)
+}
+
 /// Arc-tangent table entries for the angle accumulator, scaled to an 8-bit
 /// integer angle; the precise values do not matter for scheduling.
 fn atan_entry(i: u32) -> i64 {
@@ -261,8 +277,14 @@ fn build_cordic(name: &str, full_iterations: u32, trimmed_tail: bool) -> Cdfg {
     b.finish().expect("cordic is structurally valid")
 }
 
-/// Convenience: the node id of the first primary output's driver (handy in
-/// tests and examples that want to inspect the final multiplexor).
+/// Convenience: the node id of the `index`-th primary output's driver
+/// (handy in tests and examples that want to inspect the final
+/// multiplexor).
+///
+/// Returns `None` when `index` is out of range for the circuit's outputs —
+/// callers must handle that case explicitly rather than assume every
+/// benchmark has a driver at every index (`gcd` has three outputs, the
+/// others fewer; generated circuits have arbitrarily many).
 pub fn output_driver(cdfg: &Cdfg, index: usize) -> Option<NodeId> {
     cdfg.outputs().get(index).map(|&o| cdfg.operands(o)[0])
 }
@@ -400,6 +422,33 @@ mod tests {
         let g = abs_diff();
         let driver = output_driver(&g, 0).unwrap();
         assert!(g.node(driver).unwrap().op.is_mux());
-        assert!(output_driver(&g, 5).is_none());
+    }
+
+    #[test]
+    fn output_driver_is_none_exactly_past_the_last_output() {
+        // The `None` contract, pinned per benchmark: every in-range index
+        // has a driver, the first out-of-range index (and far beyond) has
+        // none.  Callers that unwrap blindly would panic on `dealer`'s
+        // third output or `vender`'s fourth — this is the audit trail.
+        for bench in all_benchmarks() {
+            let n = bench.cdfg.outputs().len();
+            for i in 0..n {
+                assert!(output_driver(&bench.cdfg, i).is_some(), "{} output {i}", bench.name);
+            }
+            assert!(output_driver(&bench.cdfg, n).is_none(), "{} boundary", bench.name);
+            assert!(output_driver(&bench.cdfg, usize::MAX).is_none(), "{} far", bench.name);
+        }
+        assert!(output_driver(&abs_diff(), 5).is_none());
+    }
+
+    #[test]
+    fn cordic_named_matches_cordic_with_iterations_structurally() {
+        let canonical = cordic_with_iterations(4);
+        let named = cordic_named("gen-cordic-i4-0000", 4, false);
+        assert_eq!(named.name(), "gen-cordic-i4-0000");
+        assert_eq!(named.op_counts(), canonical.op_counts());
+        assert_eq!(named.critical_path_length(), canonical.critical_path_length());
+        let tail = cordic_named("tail", 14, true);
+        assert_eq!(tail.op_counts(), cordic().op_counts(), "trimmed tail matches the paper build");
     }
 }

@@ -31,7 +31,7 @@ pub mod benchmarks;
 pub mod stats;
 
 pub use crate::benchmarks::{
-    abs_diff, abs_diff_silage_source, all_benchmarks, cordic, cordic_with_iterations, dealer, gcd,
-    vender, Benchmark,
+    abs_diff, abs_diff_silage_source, all_benchmarks, cordic, cordic_named, cordic_with_iterations,
+    dealer, gcd, output_driver, vender, Benchmark,
 };
 pub use crate::stats::CircuitStats;

@@ -113,19 +113,30 @@ impl Engine {
     /// (Table I: `dealer`, `gcd`, `vender`, `cordic`) plus the `abs_diff`
     /// walkthrough of Figures 1 and 2.
     pub fn new() -> Self {
-        let mut circuits = BTreeMap::new();
-        for bench in circuits::all_benchmarks() {
-            circuits.insert(bench.name.to_owned(), Arc::new(bench.cdfg));
-        }
-        let abs = circuits::abs_diff();
-        circuits.insert(abs.name().to_owned(), Arc::new(abs));
-        Engine { circuits, cache: cache::MemoCache::new() }
+        let mut engine = Engine { circuits: BTreeMap::new(), cache: cache::MemoCache::new() };
+        engine.register_benchmarks(circuits::all_benchmarks());
+        engine.register_circuit(circuits::abs_diff());
+        engine
     }
 
     /// Registers an additional circuit under its CDFG name, replacing any
     /// previous circuit with that name.
     pub fn register_circuit(&mut self, cdfg: Cdfg) {
         self.circuits.insert(cdfg.name().to_owned(), Arc::new(cdfg));
+    }
+
+    /// Registers every circuit of a batch of benchmarks under its benchmark
+    /// name — the entry point for generated workloads (`crates/gen`), whose
+    /// names embed the generator seed and parameters and thereby key the
+    /// prefix cache.
+    pub fn register_benchmarks<I>(&mut self, benches: I)
+    where
+        I: IntoIterator<Item = circuits::Benchmark>,
+    {
+        for bench in benches {
+            debug_assert_eq!(bench.name, bench.cdfg.name(), "benchmark/CDFG name mismatch");
+            self.circuits.insert(bench.name, Arc::new(bench.cdfg));
+        }
     }
 
     /// The registered circuit names, sorted.

@@ -1,0 +1,106 @@
+//! Property tests for sweep-plan canonicalisation: the plan a builder
+//! produces must depend only on the *set* of requested scenarios, never on
+//! the order cases or sweep dimensions were inserted — the gap PR 2's
+//! determinism suite left open.
+
+use engine::{BranchModel, Scenario, SchedulerKind, SweepPlan};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic Fisher–Yates driven by the workspace's seeded rng shim.
+fn shuffled<T: Clone>(items: &[T], seed: u64) -> Vec<T> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = items.to_vec();
+    for i in (1..out.len()).rev() {
+        let j = rng.gen_range(0usize..i + 1);
+        out.swap(i, j);
+    }
+    out
+}
+
+/// The case pool the property draws from: enough circuits and latencies for
+/// permutations (and duplicated insertions) to be meaningful.
+fn case_pool() -> Vec<(&'static str, u32)> {
+    let mut cases = Vec::new();
+    for circuit in ["dealer", "gcd", "vender", "abs_diff", "cordic"] {
+        for latency in [3u32, 4, 5, 6, 48] {
+            cases.push((circuit, latency));
+        }
+    }
+    cases
+}
+
+fn build_plan(
+    cases: &[(&str, u32)],
+    schedulers: &[SchedulerKind],
+    depths: &[u32],
+    reorder: &[bool],
+    models: &[BranchModel],
+) -> SweepPlan {
+    let mut builder = SweepPlan::builder();
+    for &(circuit, latency) in cases {
+        builder = builder.case(circuit, latency);
+    }
+    builder
+        .schedulers(schedulers.iter().copied())
+        .pipeline_depths(depths.iter().copied())
+        .reorder(reorder.iter().copied())
+        .branch_models(models.iter().copied())
+        .build()
+        .expect("non-empty plan")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn plans_are_insensitive_to_insertion_order(
+        seed in 0u64..1_000_000,
+        take in 1usize..26,
+    ) {
+        let pool = case_pool();
+        let cases: Vec<(&str, u32)> = pool[..take.min(pool.len())].to_vec();
+        let schedulers = [SchedulerKind::ForceDirected, SchedulerKind::List];
+        let depths = [1u32, 2];
+        let reorder = [false, true];
+        let models = [BranchModel::Fair, BranchModel::biased(250), BranchModel::biased(750)];
+
+        let canonical = build_plan(&cases, &schedulers, &depths, &reorder, &models);
+        let permuted = build_plan(
+            &shuffled(&cases, seed),
+            &shuffled(&schedulers, seed ^ 1),
+            &shuffled(&depths, seed ^ 2),
+            &shuffled(&reorder, seed ^ 3),
+            &shuffled(&models, seed ^ 4),
+        );
+        prop_assert_eq!(&canonical, &permuted);
+
+        // Duplicated insertions (the whole case list twice, shuffled) change
+        // nothing either: the plan is a set.
+        let mut doubled = cases.clone();
+        doubled.extend(shuffled(&cases, seed ^ 5));
+        let deduped = build_plan(&doubled, &schedulers, &depths, &reorder, &models);
+        prop_assert_eq!(&canonical, &deduped);
+    }
+
+    #[test]
+    fn scenarios_come_out_sorted_and_unique(
+        seed in 0u64..1_000_000,
+        take in 1usize..26,
+    ) {
+        let pool = case_pool();
+        let cases = shuffled(&pool[..take.min(pool.len())], seed);
+        let plan = build_plan(
+            &cases,
+            &[SchedulerKind::ForceDirected, SchedulerKind::List],
+            &[1, 3],
+            &[false, true],
+            &[BranchModel::Fair],
+        );
+        let scenarios: &[Scenario] = plan.scenarios();
+        for pair in scenarios.windows(2) {
+            prop_assert!(pair[0] < pair[1], "strictly ascending canonical order");
+        }
+    }
+}

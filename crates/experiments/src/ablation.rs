@@ -192,7 +192,7 @@ pub fn never_worse_than_baseline() -> Result<bool, ExperimentError> {
     let mut builder = SweepPlan::builder();
     for bench in all_benchmarks() {
         for &steps in &bench.control_steps {
-            builder = builder.case(bench.name, steps);
+            builder = builder.case(bench.name.as_str(), steps);
         }
     }
     let report = Engine::new().run(&builder.build()?, 0);

@@ -1,0 +1,73 @@
+//! Savings distributions over generated circuit families (the `genweep`
+//! study — beyond the paper's four designs).
+//!
+//! ```text
+//! cargo run --release -p experiments --bin genweep [-- --json]
+//!     [--seed S] [--count N] [--threads N]
+//! ```
+//!
+//! Generates `N` circuits of every family (`random-dag`, `mux-tree`,
+//! `dsp-chain`, `cordic`) from seed `S`, sweeps each at both derived
+//! budgets under both schedulers, and prints the per-family reduction
+//! distribution (min/median/max, Pareto sizes).  `--json` emits the family
+//! aggregates followed by the full engine report.
+
+use std::process::exit;
+
+use experiments::genweep::{default_specs, families_json, genweep, render};
+
+fn main() {
+    let mut json = false;
+    let mut seed = 42u64;
+    let mut count = 25usize;
+    let mut threads = 0usize;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut numeric = |name: &str| {
+            args.next()
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or_else(|| usage(&format!("{name} needs a non-negative integer")))
+        };
+        match arg.as_str() {
+            "--json" => json = true,
+            "--seed" => seed = numeric("--seed"),
+            "--count" => count = numeric("--count") as usize,
+            "--threads" => threads = numeric("--threads") as usize,
+            other => usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let outcome = match genweep(&default_specs(seed, count), threads) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("genweep failed: {e}");
+            exit(1);
+        }
+    };
+
+    if json {
+        print!("{}", families_json(&outcome.families));
+        print!("{}", outcome.report.to_json());
+    } else {
+        print!("{}", render(&outcome.families));
+        println!(
+            "\n{} scenarios ({} failed) over {} generated circuits; \
+             prefix cache: {} computed, {} reused",
+            outcome.report.records.len(),
+            outcome.report.failure_count(),
+            outcome.families.iter().map(|f| f.circuits).sum::<usize>(),
+            outcome.cache.misses,
+            outcome.cache.hits
+        );
+    }
+    if outcome.report.failure_count() > 0 {
+        exit(1);
+    }
+}
+
+fn usage(problem: &str) -> ! {
+    eprintln!("genweep: {problem}");
+    eprintln!("usage: genweep [--json] [--seed S] [--count N] [--threads N]");
+    exit(2);
+}

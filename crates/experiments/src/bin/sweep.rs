@@ -1,19 +1,27 @@
 //! Runs the full scenario matrix (circuit × latency × scheduler × pipeline
-//! depth × reordering × branch model) over all Table I circuits on the
-//! parallel sweep engine.
+//! depth × reordering × branch model) over all Table I circuits — or over
+//! *generated* workloads — on the parallel sweep engine.
 //!
 //! ```text
 //! cargo run --release -p experiments --bin sweep [-- --json|--csv]
 //!     [--threads N] [--small]
+//!     [--gen family=<name>,seed=<s>,count=<n>[,knob=v...]]...
 //! ```
 //!
 //! * `--json` / `--csv` — machine-readable output instead of the pretty
 //!   report,
 //! * `--threads N` — worker threads (default: one per CPU),
 //! * `--small` — the CI smoke matrix (no cordic, no pipelining, fair
-//!   probabilities only).
+//!   probabilities only),
+//! * `--gen SPEC` (repeatable) — replace the paper matrix with synthetic
+//!   circuits from `crates/gen`; families are `random-dag`, `mux-tree`,
+//!   `dsp-chain` and `cordic`, and each spec can set `width=`, `depth=`,
+//!   `mux=` (permille), `taps=` and `iters=`.  Output is byte-identical
+//!   across runs and thread counts for fixed specs.
 
 use std::process::exit;
+
+use gen::GenSpec;
 
 enum Format {
     Pretty,
@@ -25,6 +33,7 @@ fn main() {
     let mut format = Format::Pretty;
     let mut threads = 0usize;
     let mut small = false;
+    let mut specs: Vec<GenSpec> = Vec::new();
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -38,11 +47,29 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("--threads needs a positive integer"));
             }
+            "--gen" => {
+                let text = args.next().unwrap_or_else(|| usage("--gen needs a spec"));
+                match GenSpec::parse(&text) {
+                    Ok(spec) => specs.push(spec),
+                    Err(e) => usage(&e.to_string()),
+                }
+            }
             other => usage(&format!("unknown argument `{other}`")),
         }
     }
 
-    let (report, cache) = match experiments::sweep::run_full_matrix(small, threads) {
+    let outcome = if specs.is_empty() {
+        experiments::sweep::run_full_matrix(small, threads)
+    } else {
+        if small {
+            // --small shapes the paper matrix; silently ignoring it on the
+            // generated path would surprise anyone adapting the CI smoke
+            // invocation.  Size generated runs with `count=` instead.
+            usage("--small only applies to the paper matrix; use --gen ...,count=N to size a generated run");
+        }
+        experiments::genweep::sweep_generated(&specs, threads)
+    };
+    let (report, cache) = match outcome {
         Ok(outcome) => outcome,
         Err(e) => {
             eprintln!("sweep failed: {e}");
@@ -71,6 +98,9 @@ fn main() {
 
 fn usage(problem: &str) -> ! {
     eprintln!("sweep: {problem}");
-    eprintln!("usage: sweep [--json|--csv] [--threads N] [--small]");
+    eprintln!(
+        "usage: sweep [--json|--csv] [--threads N] [--small] \
+         [--gen family=<name>,seed=<s>,count=<n>]..."
+    );
     exit(2);
 }

@@ -8,13 +8,14 @@
 //! |----------------|--------|--------|
 //! | Figure 1 (2-step \|a−b\| schedule) | [`figures::figure1`] | `cargo run -p experiments --bin figure1` |
 //! | Figure 2 (3-step schedules, traditional vs power-managed) | [`figures::figure2`] | `--bin figure2` |
-//! | Table I (circuit statistics) | [`table1`] | `--bin table1` |
-//! | Table II (expected operation executions & datapath power reduction) | [`table2`] | `--bin table2` |
-//! | Table III (gate-level area & power, Synopsys substitute) | [`table3`] | `--bin table3` |
+//! | Table I (circuit statistics) | [`mod@table1`] | `--bin table1` |
+//! | Table II (expected operation executions & datapath power reduction) | [`mod@table2`] | `--bin table2` |
+//! | Table III (gate-level area & power, Synopsys substitute) | [`mod@table3`] | `--bin table3` |
 //! | Section IV-A (multiplexor reordering) | [`ablation`] | `--bin ablation_reorder` |
 //! | Section IV-B (pipelining) | [`ablation`] | `--bin ablation_pipeline` |
 //! | Branch-probability sensitivity (Section V's fairness assumption) | [`sensitivity`] | `--bin sensitivity` |
 //! | Full scenario matrix (all of the above dimensions at once) | [`sweep`] | `--bin sweep` |
+//! | Generated-workload distributions (beyond the paper) | [`genweep`] | `--bin genweep` |
 //!
 //! The `table1`, `table2`, `table3` and `sensitivity` binaries accept a
 //! `--json` flag that emits the engine's machine-readable report instead of
@@ -35,6 +36,7 @@ use engine::{EngineError, Scenario, ScenarioMetrics, SweepRecord, SweepReport};
 
 pub mod ablation;
 pub mod figures;
+pub mod genweep;
 pub mod sensitivity;
 pub mod sweep;
 pub mod table1;
@@ -78,6 +80,12 @@ impl std::error::Error for ExperimentError {}
 impl From<EngineError> for ExperimentError {
     fn from(e: EngineError) -> Self {
         ExperimentError { context: "sweep plan".to_owned(), message: e.to_string() }
+    }
+}
+
+impl From<gen::GenError> for ExperimentError {
+    fn from(e: gen::GenError) -> Self {
+        ExperimentError { context: "workload generator".to_owned(), message: e.to_string() }
     }
 }
 

@@ -104,7 +104,7 @@ pub fn sensitivity_plan(steps: usize) -> SweepPlan {
     let mut builder = SweepPlan::builder();
     for bench in circuits::all_benchmarks() {
         let &budget = bench.control_steps.last().expect("budgets are non-empty");
-        builder = builder.case(bench.name, budget);
+        builder = builder.case(bench.name.as_str(), budget);
     }
     builder
         .branch_models(sweep_models(steps))

@@ -30,7 +30,7 @@ pub fn full_matrix_plan(small: bool) -> Result<SweepPlan, ExperimentError> {
             continue;
         }
         for &steps in &bench.control_steps {
-            builder = builder.case(bench.name, steps);
+            builder = builder.case(bench.name.as_str(), steps);
         }
     }
     builder = builder

@@ -82,7 +82,7 @@ pub fn table2_plan() -> SweepPlan {
     let mut builder = SweepPlan::builder();
     for bench in all_benchmarks() {
         for &steps in &bench.control_steps {
-            builder = builder.case(bench.name, steps);
+            builder = builder.case(bench.name.as_str(), steps);
         }
     }
     builder.build().expect("Table II plan is non-empty and valid")
@@ -110,9 +110,9 @@ fn rows_from_report(report: &SweepReport) -> Result<Vec<Table2Row>, ExperimentEr
     let mut rows = Vec::new();
     for bench in all_benchmarks() {
         for &steps in &bench.control_steps {
-            let metrics = metrics_for(report, &Scenario::new(bench.name, steps))?;
+            let metrics = metrics_for(report, &Scenario::new(bench.name.as_str(), steps))?;
             rows.push(Table2Row {
-                circuit: bench.name.to_owned(),
+                circuit: bench.name.clone(),
                 control_steps: steps,
                 pm_muxes: metrics.pm_muxes,
                 area_increase: metrics.area_increase,

@@ -1,0 +1,54 @@
+//! Generator errors.
+
+use std::fmt;
+
+/// Everything that can go wrong while parsing a spec or generating a batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GenError {
+    /// The spec named a family the generator does not know.
+    UnknownFamily(String),
+    /// The spec text was not `key=value[,key=value...]` or used an unknown
+    /// key or a non-numeric value.
+    MalformedSpec(String),
+    /// A knob was outside its allowed range.
+    InvalidKnob(String),
+    /// A generated graph failed structural validation — a generator bug,
+    /// surfaced instead of panicking so sweeps degrade gracefully.
+    InvalidCircuit {
+        /// Name of the offending circuit.
+        name: String,
+        /// The underlying CDFG validation message.
+        message: String,
+    },
+}
+
+impl fmt::Display for GenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenError::UnknownFamily(name) => write!(
+                f,
+                "unknown circuit family `{name}` (expected random-dag, mux-tree, dsp-chain or cordic)"
+            ),
+            GenError::MalformedSpec(detail) => write!(f, "malformed generator spec: {detail}"),
+            GenError::InvalidKnob(knob) => write!(f, "generator knob out of range: {knob}"),
+            GenError::InvalidCircuit { name, message } => {
+                write!(f, "generated circuit `{name}` is structurally invalid: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GenError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_problem() {
+        assert!(GenError::UnknownFamily("x".into()).to_string().contains("random-dag"));
+        assert!(GenError::InvalidKnob("width".into()).to_string().contains("width"));
+        let e = GenError::InvalidCircuit { name: "c".into(), message: "m".into() };
+        assert!(e.to_string().contains("`c`"));
+    }
+}

@@ -1,0 +1,180 @@
+//! Seeded synthetic CDFG generator: parameterized circuit families for
+//! large-scale sweeps.
+//!
+//! The paper evaluates its scheduling transformation on four hand-built
+//! Silage designs; every conclusion the reproduction can draw from those is
+//! limited to four points of a huge workload space.  This crate mass-
+//! produces `circuits::Benchmark`-compatible workloads — thousands per
+//! minute — so the sweep engine can map where the shutdown savings hold up
+//! and where they collapse:
+//!
+//! * [`Family::RandomDag`] — random layered DAGs with configurable
+//!   width/depth/operation mix,
+//! * [`Family::MuxTree`] — conditional-heavy multiplexor trees (the
+//!   paper's sweet spot),
+//! * [`Family::DspChain`] — FIR tap chains, IIR-style sections and
+//!   butterfly ladders with conditional scaling,
+//! * [`Family::Cordic`] — the paper's CORDIC rotator scaled to other
+//!   iteration counts.
+//!
+//! # Determinism
+//!
+//! Generation is a pure function of the [`GenSpec`]: the only entropy
+//! source is the workspace's seeded splitmix `StdRng` shim, never a clock,
+//! and circuit `i` derives its private stream from `(seed, i)`.  A fixed
+//! spec therefore reproduces byte-identical circuits across runs, machines
+//! and thread counts — the property the sweep determinism suite pins.
+//!
+//! Circuit *names* embed the family, seed and every structural knob
+//! (`gen-rdag-s42-w6-d8-m300-0007`), so the engine's prefix cache — which
+//! keys on the circuit name — can never conflate circuits drawn from
+//! different generator parameters.
+//!
+//! # Derived budgets
+//!
+//! Each generated [`circuits::Benchmark`] carries two control-step budgets
+//! derived from its own critical path `cp`: the tight bound `cp` and the
+//! relaxed bound `cp + 1 + cp/4`, mirroring how Table II evaluates each
+//! paper circuit at its critical path and a little beyond.
+//!
+//! # Example
+//!
+//! ```
+//! use gen::{Family, GenSpec};
+//!
+//! let spec = GenSpec::parse("family=mux-tree,seed=7,count=3").unwrap();
+//! let batch = gen::generate(&spec).unwrap();
+//! assert_eq!(batch.len(), 3);
+//! for bench in &batch {
+//!     assert!(bench.cdfg.validate().is_ok());
+//!     assert_eq!(bench.control_steps[0], bench.cdfg.critical_path_length());
+//! }
+//! assert_eq!(spec.family, Family::MuxTree);
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod error;
+pub mod families;
+pub mod spec;
+
+use circuits::Benchmark;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub use crate::error::GenError;
+pub use crate::spec::{Family, GenSpec};
+
+/// Mixes the batch seed with a circuit index into an independent stream
+/// seed (splitmix-style finalizer, matching the `StdRng` shim's quality).
+fn stream_seed(seed: u64, index: usize) -> u64 {
+    let mut z = seed ^ (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z ^ (z >> 31)
+}
+
+/// Control-step budgets for a circuit with critical path `cp`: the tight
+/// bound and one relaxed bound, like the paper's Table II pairs.
+fn derived_budgets(cp: u32) -> Vec<u32> {
+    vec![cp, cp + 1 + cp / 4]
+}
+
+/// Generates circuit `index` of the spec's batch.
+///
+/// # Errors
+///
+/// Returns [`GenError::InvalidCircuit`] if the produced graph fails CDFG
+/// validation (a generator bug; the property suite keeps this unreachable).
+pub fn generate_one(spec: &GenSpec, index: usize) -> Result<Benchmark, GenError> {
+    let name = spec.circuit_name(index);
+    let mut rng = StdRng::seed_from_u64(stream_seed(spec.seed, index));
+    let cdfg = match spec.family {
+        Family::RandomDag => {
+            families::random_dag(&name, &mut rng, spec.width, spec.depth, spec.mux_permille)
+        }
+        Family::MuxTree => families::mux_tree(&name, &mut rng, spec.depth),
+        Family::DspChain => families::dsp_chain(&name, &mut rng, spec.taps, index),
+        // No wrap-around: circuit `i` runs `iters + i` iterations, so every
+        // batch member is structurally distinct (GenSpec::validate caps the
+        // count so the largest variant stays within the iters knob range).
+        Family::Cordic => circuits::cordic_named(&name, spec.iters + index as u32, false),
+    };
+    cdfg.validate()
+        .map_err(|e| GenError::InvalidCircuit { name: name.clone(), message: e.to_string() })?;
+    let control_steps = derived_budgets(cdfg.critical_path_length());
+    Ok(Benchmark { name, cdfg, control_steps })
+}
+
+/// Generates the spec's whole batch, in index order.
+///
+/// # Errors
+///
+/// Rejects invalid knobs ([`GenSpec::validate`]) and propagates
+/// [`generate_one`] failures.
+pub fn generate(spec: &GenSpec) -> Result<Vec<Benchmark>, GenError> {
+    spec.validate()?;
+    (0..spec.count).map(|i| generate_one(spec, i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_honours_count_and_names_in_order() {
+        let spec = GenSpec::new(Family::RandomDag, 42, 5);
+        let batch = generate(&spec).unwrap();
+        assert_eq!(batch.len(), 5);
+        for (i, bench) in batch.iter().enumerate() {
+            assert_eq!(bench.name, spec.circuit_name(i));
+            assert_eq!(bench.name, bench.cdfg.name(), "benchmark and CDFG names agree");
+        }
+    }
+
+    #[test]
+    fn budgets_start_at_the_critical_path() {
+        for family in Family::ALL {
+            let spec = GenSpec::new(family, 3, 2);
+            for bench in generate(&spec).unwrap() {
+                let cp = bench.cdfg.critical_path_length();
+                assert_eq!(bench.control_steps[0], cp, "{}", bench.name);
+                assert!(bench.control_steps[1] > cp, "{}", bench.name);
+            }
+        }
+    }
+
+    #[test]
+    fn cordic_batch_scales_iterations_with_the_index() {
+        let spec = GenSpec::new(Family::Cordic, 0, 3);
+        let batch = generate(&spec).unwrap();
+        let mux_counts: Vec<usize> = batch.iter().map(|b| b.cdfg.op_counts().mux).collect();
+        // iters 4, 5, 6 → 3 muxes per iteration.
+        assert_eq!(mux_counts, vec![12, 15, 18]);
+    }
+
+    #[test]
+    fn sibling_circuits_differ_but_reruns_do_not() {
+        let spec = GenSpec::new(Family::RandomDag, 11, 2);
+        let a = generate(&spec).unwrap();
+        let b = generate(&spec).unwrap();
+        assert_eq!(
+            cdfg::dot::to_dot(&a[0].cdfg),
+            cdfg::dot::to_dot(&b[0].cdfg),
+            "same spec, same bytes"
+        );
+        assert_ne!(
+            cdfg::dot::to_dot(&a[0].cdfg).replace(&a[0].name, ""),
+            cdfg::dot::to_dot(&a[1].cdfg).replace(&a[1].name, ""),
+            "different indices draw different structures"
+        );
+    }
+
+    #[test]
+    fn stream_seed_spreads_adjacent_indices() {
+        let s0 = stream_seed(42, 0);
+        let s1 = stream_seed(42, 1);
+        assert_ne!(s0, s1);
+        assert_ne!(s0 ^ s1, 1, "not just the low bit");
+    }
+}

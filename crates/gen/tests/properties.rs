@@ -1,0 +1,110 @@
+//! Property-based tests for the synthetic circuit generator: every
+//! generated circuit must be structurally valid, schedulable at its derived
+//! budgets under both final schedulers, and byte-identical across runs for
+//! a fixed seed.
+
+use gen::{Family, GenSpec};
+use proptest::prelude::*;
+use sched::hyper::{self, HyperOptions};
+use sched::ResourceConstraint;
+
+fn family_from(index: usize) -> Family {
+    Family::ALL[index % Family::ALL.len()]
+}
+
+/// A spec exercising non-default knobs so the properties cover the whole
+/// parameter space, not just the defaults.
+fn spec_from(seed: u64, family_index: usize, scale: u32) -> GenSpec {
+    let mut spec = GenSpec::new(family_from(family_index), seed, 2);
+    spec.width = 2 + scale;
+    spec.depth = 2 + scale;
+    spec.mux_permille = 150 * scale as u16;
+    spec.taps = 3 + scale;
+    spec.iters = 2 + scale;
+    spec
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn every_generated_circuit_is_structurally_valid(
+        seed in 0u64..10_000,
+        family_index in 0usize..4,
+        scale in 1u32..5,
+    ) {
+        let spec = spec_from(seed, family_index, scale);
+        for bench in gen::generate(&spec).unwrap() {
+            prop_assert!(bench.cdfg.validate().is_ok(), "{} invalid", bench.name);
+            prop_assert_eq!(bench.name.as_str(), bench.cdfg.name());
+            prop_assert!(bench.cdfg.critical_path_length() >= 1);
+            prop_assert!(!bench.cdfg.outputs().is_empty());
+        }
+    }
+
+    #[test]
+    fn derived_budgets_are_schedulable_under_both_schedulers(
+        seed in 0u64..10_000,
+        family_index in 0usize..4,
+        scale in 1u32..4,
+    ) {
+        let spec = spec_from(seed, family_index, scale);
+        for bench in gen::generate(&spec).unwrap() {
+            let cp = bench.cdfg.critical_path_length();
+            prop_assert_eq!(bench.control_steps[0], cp);
+            for &budget in &bench.control_steps {
+                // Force-directed (unlimited units, latency-constrained).
+                let force = hyper::schedule(&bench.cdfg, &HyperOptions::with_latency(budget));
+                prop_assert!(force.is_ok(), "{} force @ {budget}", bench.name);
+                let force = force.unwrap();
+                prop_assert!(force.num_steps() <= budget);
+                prop_assert!(force.validate(&bench.cdfg).is_ok());
+
+                // List scheduling on the minimum allocation — the engine's
+                // SchedulerKind::List contract.
+                let minimum = hyper::minimum_resources(&bench.cdfg, budget).unwrap();
+                let list = hyper::schedule(
+                    &bench.cdfg,
+                    &HyperOptions::with_resources(budget, ResourceConstraint::Limited(minimum)),
+                );
+                prop_assert!(list.is_ok(), "{} list @ {budget}", bench.name);
+                prop_assert!(list.unwrap().num_steps() <= budget);
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_seeds_reproduce_byte_identical_circuits(
+        seed in 0u64..10_000,
+        family_index in 0usize..4,
+        scale in 1u32..5,
+    ) {
+        let spec = spec_from(seed, family_index, scale);
+        let first = gen::generate(&spec).unwrap();
+        let second = gen::generate(&spec).unwrap();
+        prop_assert_eq!(first.len(), second.len());
+        for (a, b) in first.iter().zip(&second) {
+            prop_assert_eq!(&a.name, &b.name);
+            prop_assert_eq!(&a.control_steps, &b.control_steps);
+            // DOT export serialises every node, edge, port and name — equal
+            // strings mean equal graphs, byte for byte.
+            prop_assert_eq!(cdfg::dot::to_dot(&a.cdfg), cdfg::dot::to_dot(&b.cdfg));
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_structurally_different_random_dags(
+        seed in 0u64..10_000,
+    ) {
+        // Not a tautology: the op mix, operand picks and layer shapes all
+        // come from the stream, so two adjacent seeds colliding on the
+        // whole DOT body would indicate a broken stream derivation.
+        let a_spec = GenSpec::new(Family::RandomDag, seed, 1);
+        let b_spec = GenSpec::new(Family::RandomDag, seed + 1, 1);
+        let a = &gen::generate(&a_spec).unwrap()[0];
+        let b = &gen::generate(&b_spec).unwrap()[0];
+        let a_dot = cdfg::dot::to_dot(&a.cdfg).replace(&a.name, "X");
+        let b_dot = cdfg::dot::to_dot(&b.cdfg).replace(&b.name, "X");
+        prop_assert_ne!(a_dot, b_dot);
+    }
+}
