@@ -1,0 +1,76 @@
+//! Scheduling-kernel microbench: the incremental force-directed scheduler
+//! against the retained naive reference (and list scheduling for context)
+//! across circuit sizes.
+//!
+//! This is the bench behind `BENCH_sched.json` (see the `bench_sched`
+//! binary): the acceptance bar for the incremental rewrite is a ≥ 5×
+//! single-thread speedup of `sched::force` over `sched::naive` on the
+//! largest generated family.  Before timing, every case asserts the two
+//! kernels still produce equal schedules, so the bench cannot quietly
+//! measure two different algorithms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cdfg::Cdfg;
+use gen::{Family, GenSpec};
+use sched::{force, list, naive, ResourceConstraint};
+
+/// Named circuits with their scheduling latency, small to large.
+fn cases() -> Vec<(String, Cdfg, u32)> {
+    let mut cases: Vec<(String, Cdfg, u32)> = Vec::new();
+    // The four paper circuits at their relaxed Table II budget.
+    for bench in circuits::all_benchmarks() {
+        let latency = *bench.control_steps.last().expect("budgets");
+        cases.push((bench.name.clone(), bench.cdfg, latency));
+    }
+    // Generated families at increasing size; the random-dag cases are the
+    // ones the sweep engine runs by the hundreds.
+    let mut specs =
+        vec![GenSpec::new(Family::MuxTree, 11, 1), GenSpec::new(Family::DspChain, 11, 1)];
+    for (width, depth) in [(6, 8), (12, 16), (16, 24)] {
+        let mut spec = GenSpec::new(Family::RandomDag, 11, 1);
+        spec.width = width;
+        spec.depth = depth;
+        specs.push(spec);
+    }
+    for spec in specs {
+        let bench = gen::generate_one(&spec, 0).expect("valid spec");
+        let latency = *bench.control_steps.last().expect("budgets");
+        cases.push((bench.name.clone(), bench.cdfg, latency));
+    }
+    cases
+}
+
+fn bench_sched_kernel(c: &mut Criterion) {
+    let cases = cases();
+    let mut group = c.benchmark_group("sched_kernel");
+    group.sample_size(10);
+    for (name, cdfg, latency) in &cases {
+        let label = format!("{name}/{}n/L{latency}", cdfg.node_count());
+        // Identity guard: never benchmark diverging kernels.
+        assert_eq!(
+            force::schedule(cdfg, *latency).expect("feasible"),
+            naive::schedule(cdfg, *latency).expect("feasible"),
+            "kernels diverged on {name}"
+        );
+        group.bench_with_input(BenchmarkId::new("force", &label), cdfg, |b, g| {
+            b.iter(|| black_box(force::schedule(g, *latency).expect("feasible")))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", &label), cdfg, |b, g| {
+            b.iter(|| black_box(naive::schedule(g, *latency).expect("feasible")))
+        });
+        group.bench_with_input(BenchmarkId::new("list", &label), cdfg, |b, g| {
+            b.iter(|| {
+                black_box(
+                    list::schedule(g, &ResourceConstraint::Unlimited, *latency)
+                        .expect("unlimited list scheduling always completes"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sched_kernel);
+criterion_main!(benches);

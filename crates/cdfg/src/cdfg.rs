@@ -1,10 +1,12 @@
 //! The Control Data Flow Graph itself.
 
 use std::collections::BTreeMap;
+use std::sync::OnceLock;
 
 use crate::error::CdfgError;
 use crate::graph::{DiGraph, EdgeId, NodeId};
 use crate::op::Op;
+use crate::slices::Slices;
 use crate::stats::OpCounts;
 
 /// Input port index of a multiplexor's select (control) operand.
@@ -105,6 +107,9 @@ pub struct Cdfg {
     outputs: Vec<NodeId>,
     default_bitwidth: u32,
     next_label: u32,
+    /// Lazily built compact adjacency view; dropped on every structural
+    /// mutation so it can never go stale.
+    slices: OnceLock<Slices>,
 }
 
 impl Cdfg {
@@ -118,7 +123,40 @@ impl Cdfg {
             outputs: Vec::new(),
             default_bitwidth: DEFAULT_BITWIDTH,
             next_label: 0,
+            slices: OnceLock::new(),
         }
+    }
+
+    /// Invalidates the cached adjacency view; called by every structural
+    /// mutation.
+    fn touch(&mut self) {
+        self.slices = OnceLock::new();
+    }
+
+    /// The compact slice adjacency view (CSR arrays, cached topological
+    /// order, functional-node list), built lazily and reused until the graph
+    /// is mutated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is cyclic (only possible mid-construction; the
+    /// public mutators never leave a cycle behind).
+    pub fn slices(&self) -> &Slices {
+        self.slices.get_or_init(|| Slices::build(self))
+    }
+
+    /// Immediate predecessors via data or control edges as a borrowed slice
+    /// (deduplicated, ascending).  Allocation-free equivalent of
+    /// [`Cdfg::predecessors`].
+    pub fn preds(&self, id: NodeId) -> &[NodeId] {
+        self.slices().preds(id)
+    }
+
+    /// Immediate successors via data or control edges as a borrowed slice
+    /// (deduplicated, ascending).  Allocation-free equivalent of
+    /// [`Cdfg::successors`].
+    pub fn succs(&self, id: NodeId) -> &[NodeId] {
+        self.slices().succs(id)
     }
 
     /// Creates an empty CDFG with an explicit default bitwidth.
@@ -171,6 +209,7 @@ impl Cdfg {
 
     /// Adds a primary input with the given name and returns its node id.
     pub fn add_input(&mut self, name: impl Into<String>) -> NodeId {
+        self.touch();
         let data = NodeData::new(Op::Input, name, self.default_bitwidth);
         let id = self.graph.add_node(data);
         self.inputs.push(id);
@@ -179,6 +218,7 @@ impl Cdfg {
 
     /// Adds a constant node with the given value.
     pub fn add_const(&mut self, value: i64) -> NodeId {
+        self.touch();
         let name = format!("c{value}");
         self.graph.add_node(NodeData::new(Op::Const(value), name, self.default_bitwidth))
     }
@@ -217,6 +257,7 @@ impl Cdfg {
                 });
             }
         }
+        self.touch();
         let name = self.fresh_label(op);
         let id = self.graph.add_node(NodeData::new(op, name, self.default_bitwidth));
         for (port, &src) in operands.iter().enumerate() {
@@ -269,6 +310,7 @@ impl Cdfg {
         {
             return Err(CdfgError::DuplicateName(name));
         }
+        self.touch();
         let id = self.graph.add_node(NodeData::new(Op::Output, name, self.default_bitwidth));
         self.graph.add_edge(src, id, EdgeData::data(0));
         self.outputs.push(id);
@@ -289,6 +331,7 @@ impl Cdfg {
         if !self.graph.contains_node(after) {
             return Err(CdfgError::UnknownNode(after));
         }
+        self.touch();
         let id = self.graph.add_edge(before, after, EdgeData::control());
         if !self.graph.is_acyclic() {
             self.graph.remove_edge(id);
@@ -304,6 +347,7 @@ impl Cdfg {
     pub fn remove_control_edge(&mut self, edge: EdgeId) -> bool {
         match self.graph.edge(edge) {
             Some(data) if data.kind.is_control() => {
+                self.touch();
                 self.graph.remove_edge(edge);
                 true
             }
@@ -326,7 +370,11 @@ impl Cdfg {
     }
 
     /// Mutable node payload accessor.
+    ///
+    /// Invalidates the cached adjacency view: the payload's `op` determines
+    /// the functional-node list and mask the view carries.
     pub fn node_mut(&mut self, id: NodeId) -> Option<&mut NodeData> {
+        self.touch();
         self.graph.node_mut(id)
     }
 
@@ -351,7 +399,7 @@ impl Cdfg {
 
     /// Ids of all functional (execution-unit-occupying) nodes.
     pub fn functional_nodes(&self) -> Vec<NodeId> {
-        self.graph.nodes().filter(|(_, d)| d.op.is_functional()).map(|(id, _)| id).collect()
+        self.slices().functional().to_vec()
     }
 
     /// Ids of all multiplexor nodes.
@@ -360,21 +408,17 @@ impl Cdfg {
     }
 
     /// Immediate predecessors via data or control edges (deduplicated,
-    /// ascending order).
+    /// ascending order).  Prefer [`Cdfg::preds`] in hot paths: it borrows
+    /// from the cached adjacency view instead of allocating.
     pub fn predecessors(&self, id: NodeId) -> Vec<NodeId> {
-        let mut v = self.graph.predecessors(id);
-        v.sort();
-        v.dedup();
-        v
+        self.preds(id).to_vec()
     }
 
     /// Immediate successors via data or control edges (deduplicated,
-    /// ascending order).
+    /// ascending order).  Prefer [`Cdfg::succs`] in hot paths: it borrows
+    /// from the cached adjacency view instead of allocating.
     pub fn successors(&self, id: NodeId) -> Vec<NodeId> {
-        let mut v = self.graph.successors(id);
-        v.sort();
-        v.dedup();
-        v
+        self.succs(id).to_vec()
     }
 
     /// The data operand feeding input port `port` of node `id`, if any.
@@ -435,7 +479,7 @@ impl Cdfg {
     /// Panics if the graph is cyclic; use [`Cdfg::validate`] first when the
     /// graph comes from untrusted construction code.
     pub fn topological_order(&self) -> Vec<NodeId> {
-        self.graph.topological_order().expect("CDFG must be acyclic")
+        self.slices().topo().to_vec()
     }
 
     /// Length of the critical path measured in control steps (the minimum

@@ -15,6 +15,8 @@
 //! * the CDFG itself with structural validation, topological ordering,
 //!   critical-path analysis, cone (transitive fanin/fanout) queries and
 //!   operation statistics ([`Cdfg`], [`OpCounts`]),
+//! * a cached, allocation-free CSR adjacency view over the graph
+//!   ([`Slices`], the scheduling kernels' fast path),
 //! * a fluent [`CdfgBuilder`] and Graphviz export ([`dot`]).
 //!
 //! # Example
@@ -50,6 +52,7 @@ pub mod dot;
 pub mod error;
 pub mod graph;
 pub mod op;
+pub mod slices;
 pub mod stats;
 
 pub use crate::builder::CdfgBuilder;
@@ -59,4 +62,5 @@ pub use crate::cdfg::{
 pub use crate::error::CdfgError;
 pub use crate::graph::{DiGraph, EdgeId, NodeId};
 pub use crate::op::{CompareKind, Op, OpClass};
+pub use crate::slices::Slices;
 pub use crate::stats::OpCounts;

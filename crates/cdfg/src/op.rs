@@ -156,6 +156,25 @@ impl OpClass {
         OpClass::Logic,
     ];
 
+    /// Position of a functional class inside [`OpClass::FUNCTIONAL`] — the
+    /// dense index the schedulers use for per-class arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`OpClass::Structural`], which occupies no execution unit.
+    pub fn dense_index(self) -> usize {
+        match self {
+            OpClass::Mux => 0,
+            OpClass::Comp => 1,
+            OpClass::Add => 2,
+            OpClass::Sub => 3,
+            OpClass::Mul => 4,
+            OpClass::Div => 5,
+            OpClass::Logic => 6,
+            OpClass::Structural => unreachable!("structural nodes occupy no execution unit"),
+        }
+    }
+
     /// Short uppercase label matching the paper's table headers.
     pub fn label(self) -> &'static str {
         match self {

@@ -1,0 +1,243 @@
+//! Compact slice adjacency: CSR-style flat arrays over a [`Cdfg`].
+//!
+//! The scheduling kernels ask for predecessors and successors millions of
+//! times per sweep; the original [`Cdfg::predecessors`]/[`Cdfg::successors`]
+//! answered each query with a fresh, sorted, deduplicated `Vec` — an
+//! allocation plus an `O(d log d)` sort per call.  [`Slices`] flattens the
+//! whole adjacency into four arrays built once per graph:
+//!
+//! ```text
+//! pred_index: [0, 0, 2, 5, ...]      (slot_count + 1 offsets)
+//! pred_data:  [n0, n3, n1, n2, ...]  (deduplicated, ascending per node)
+//! ```
+//!
+//! so `preds(n)` is two index reads and a borrow — `O(1)`, allocation-free.
+//! The view also caches the deterministic topological order, the list of
+//! functional nodes and a per-slot functional mask, all of which the
+//! schedulers previously recomputed (with allocations) on every call.
+//!
+//! A `Slices` is built lazily on first use and cached inside the [`Cdfg`];
+//! every structural mutation (adding nodes, edges or control edges)
+//! invalidates the cache.  The legacy `Vec`-returning accessors on [`Cdfg`]
+//! delegate to this view, so existing callers get the speedup without code
+//! changes.
+
+use crate::cdfg::Cdfg;
+use crate::graph::NodeId;
+
+/// Flat CSR adjacency view plus cached node orderings for one [`Cdfg`].
+///
+/// Obtain one with [`Cdfg::slices`]; the instance is valid until the graph
+/// is mutated (the `Cdfg` drops it automatically on mutation).
+#[derive(Debug, Clone, Default)]
+pub struct Slices {
+    slot_count: usize,
+    pred_index: Vec<u32>,
+    pred_data: Vec<NodeId>,
+    succ_index: Vec<u32>,
+    succ_data: Vec<NodeId>,
+    topo: Vec<NodeId>,
+    functional: Vec<NodeId>,
+    functional_mask: Vec<bool>,
+}
+
+impl Slices {
+    /// Builds the view by a single scan over the graph.
+    pub(crate) fn build(cdfg: &Cdfg) -> Self {
+        let graph = cdfg.graph();
+        let slot_count = graph.node_ids().map(|n| n.index() + 1).max().unwrap_or(0);
+
+        let mut pred_index = Vec::with_capacity(slot_count + 1);
+        let mut pred_data = Vec::with_capacity(graph.edge_count());
+        let mut succ_index = Vec::with_capacity(slot_count + 1);
+        let mut succ_data = Vec::with_capacity(graph.edge_count());
+        let mut scratch: Vec<NodeId> = Vec::new();
+
+        pred_index.push(0);
+        succ_index.push(0);
+        for slot in 0..slot_count {
+            let id = NodeId::new(slot as u32);
+            if graph.contains_node(id) {
+                scratch.clear();
+                scratch.extend(
+                    graph
+                        .in_edges(id)
+                        .iter()
+                        .filter_map(|&e| graph.edge_endpoints(e).map(|(s, _)| s)),
+                );
+                scratch.sort();
+                scratch.dedup();
+                pred_data.extend_from_slice(&scratch);
+
+                scratch.clear();
+                scratch.extend(
+                    graph
+                        .out_edges(id)
+                        .iter()
+                        .filter_map(|&e| graph.edge_endpoints(e).map(|(_, d)| d)),
+                );
+                scratch.sort();
+                scratch.dedup();
+                succ_data.extend_from_slice(&scratch);
+            }
+            pred_index.push(pred_data.len() as u32);
+            succ_index.push(succ_data.len() as u32);
+        }
+
+        let topo = graph.topological_order().expect("CDFG must be acyclic");
+
+        let mut functional = Vec::new();
+        let mut functional_mask = vec![false; slot_count];
+        for (id, data) in graph.nodes() {
+            if data.op.is_functional() {
+                functional.push(id);
+                functional_mask[id.index()] = true;
+            }
+        }
+
+        Slices {
+            slot_count,
+            pred_index,
+            pred_data,
+            succ_index,
+            succ_data,
+            topo,
+            functional,
+            functional_mask,
+        }
+    }
+
+    /// One past the highest live node index; dense per-node arrays in the
+    /// schedulers are sized by this.
+    pub fn slot_count(&self) -> usize {
+        self.slot_count
+    }
+
+    /// Immediate predecessors of `id` via data or control edges,
+    /// deduplicated and ascending (empty for unknown ids).
+    pub fn preds(&self, id: NodeId) -> &[NodeId] {
+        let i = id.index();
+        if i >= self.slot_count {
+            return &[];
+        }
+        &self.pred_data[self.pred_index[i] as usize..self.pred_index[i + 1] as usize]
+    }
+
+    /// Immediate successors of `id` via data or control edges, deduplicated
+    /// and ascending (empty for unknown ids).
+    pub fn succs(&self, id: NodeId) -> &[NodeId] {
+        let i = id.index();
+        if i >= self.slot_count {
+            return &[];
+        }
+        &self.succ_data[self.succ_index[i] as usize..self.succ_index[i + 1] as usize]
+    }
+
+    /// The deterministic topological order of all nodes.
+    pub fn topo(&self) -> &[NodeId] {
+        &self.topo
+    }
+
+    /// Ids of all functional nodes, ascending.
+    pub fn functional(&self) -> &[NodeId] {
+        &self.functional
+    }
+
+    /// Whether `id` is a live functional node.
+    pub fn is_functional(&self, id: NodeId) -> bool {
+        self.functional_mask.get(id.index()).copied().unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::cdfg::Cdfg;
+    use crate::graph::NodeId;
+    use crate::op::Op;
+
+    fn abs_diff() -> (Cdfg, NodeId, NodeId, NodeId, NodeId) {
+        let mut g = Cdfg::new("abs_diff");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let gt = g.add_op(Op::Gt, &[a, b]).unwrap();
+        let amb = g.add_op(Op::Sub, &[a, b]).unwrap();
+        let bma = g.add_op(Op::Sub, &[b, a]).unwrap();
+        let m = g.add_mux(gt, bma, amb).unwrap();
+        g.add_output("abs", m).unwrap();
+        (g, gt, amb, bma, m)
+    }
+
+    #[test]
+    fn slices_agree_with_vec_accessors() {
+        let (g, ..) = abs_diff();
+        let sl = g.slices();
+        for id in g.node_ids() {
+            assert_eq!(sl.preds(id), g.predecessors(id).as_slice(), "preds of {id}");
+            assert_eq!(sl.succs(id), g.successors(id).as_slice(), "succs of {id}");
+        }
+        assert_eq!(sl.topo(), g.topological_order().as_slice());
+        assert_eq!(sl.functional(), g.functional_nodes().as_slice());
+    }
+
+    #[test]
+    fn parallel_edges_are_deduplicated() {
+        let mut g = Cdfg::new("sq");
+        let a = g.add_input("a");
+        let sq = g.add_op(Op::Mul, &[a, a]).unwrap();
+        g.add_output("o", sq).unwrap();
+        assert_eq!(g.slices().preds(sq), &[a]);
+        assert_eq!(g.slices().succs(a), &[sq]);
+    }
+
+    #[test]
+    fn mutation_invalidates_the_cache() {
+        let (mut g, gt, amb, ..) = abs_diff();
+        assert!(!g.slices().succs(gt).contains(&amb));
+        g.add_control_edge(gt, amb).unwrap();
+        assert!(g.slices().succs(gt).contains(&amb), "rebuilt after mutation");
+        let e = g.control_edges()[0];
+        g.remove_control_edge(e);
+        assert!(!g.slices().succs(gt).contains(&amb), "rebuilt after removal");
+    }
+
+    #[test]
+    fn node_mut_invalidates_the_cache() {
+        // node_mut can rewrite a payload's `op`, which feeds the cached
+        // functional list/mask — the accessor must drop the cache.
+        let (mut g, gt, ..) = abs_diff();
+        assert!(g.slices().is_functional(gt));
+        assert_eq!(g.functional_nodes().len(), 4);
+        g.node_mut(gt).unwrap().op = Op::Const(1);
+        assert!(!g.slices().is_functional(gt), "rebuilt after payload mutation");
+        assert_eq!(g.functional_nodes().len(), 3);
+    }
+
+    #[test]
+    fn functional_mask_matches_ops() {
+        let (g, gt, ..) = abs_diff();
+        let sl = g.slices();
+        assert!(sl.is_functional(gt));
+        for &i in g.inputs() {
+            assert!(!sl.is_functional(i));
+        }
+        assert!(!sl.is_functional(NodeId::new(999)), "out of range is not functional");
+        assert_eq!(sl.slot_count(), 7);
+    }
+
+    #[test]
+    fn unknown_ids_have_empty_adjacency() {
+        let (g, ..) = abs_diff();
+        assert!(g.slices().preds(NodeId::new(999)).is_empty());
+        assert!(g.slices().succs(NodeId::new(999)).is_empty());
+    }
+
+    #[test]
+    fn clone_preserves_and_then_diverges() {
+        let (g, gt, amb, ..) = abs_diff();
+        let _ = g.slices();
+        let mut h = g.clone();
+        h.add_control_edge(gt, amb).unwrap();
+        assert!(h.slices().succs(gt).contains(&amb));
+        assert!(!g.slices().succs(gt).contains(&amb), "original untouched");
+    }
+}

@@ -95,6 +95,9 @@ pub fn power_manage(
     let mut working = cdfg.clone();
     let order = options.mux_order.order(cdfg);
     let mut managed: Vec<ManagedMux> = Vec::new();
+    // One timing analysis reused (buffers and all) across the per-mux
+    // feasibility checks below.
+    let mut timing = Timing::empty();
 
     // Steps 2-10: examine each multiplexor, tentatively adding its control
     // edges and keeping them only when every node still satisfies
@@ -144,7 +147,7 @@ pub fn power_manage(
 
         // Steps 4-8: the feasibility test.
         if ok {
-            let timing = Timing::compute(&working, options.latency);
+            timing.compute_into(&working, options.latency);
             ok = timing.is_feasible();
         }
 

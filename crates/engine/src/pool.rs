@@ -8,9 +8,13 @@
 //! never spawn further jobs, a worker may exit as soon as every deque is
 //! empty.
 //!
-//! Results are written into a slot indexed by the job's position in the
-//! input, so the output order equals the input order no matter which worker
-//! ran what — the property the sweep determinism tests pin down.
+//! Each worker accumulates `(index, result)` pairs in a thread-local buffer
+//! — the write path takes no lock per item — and after the workers join,
+//! the buffers drain into a single pre-sized result vector indexed by each
+//! job's position in the input.  The indices are disjoint by construction
+//! (every job is popped exactly once), so the output order equals the input
+//! order no matter which worker ran what — the property the sweep
+//! determinism tests pin down.
 
 use std::collections::VecDeque;
 use std::sync::Mutex;
@@ -43,25 +47,36 @@ where
     for (index, item) in items.into_iter().enumerate() {
         queues[index % threads].lock().expect("queue lock").push_back((index, item));
     }
-    let results: Vec<Mutex<Option<R>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
+
+    // Single pre-sized result buffer, filled at disjoint indices after the
+    // workers hand back their locally buffered results.
+    let mut results: Vec<Option<R>> = Vec::with_capacity(jobs);
+    results.resize_with(jobs, || None);
 
     thread::scope(|scope| {
-        for worker in 0..threads {
-            let queues = &queues;
-            let results = &results;
-            scope.spawn(move || {
-                while let Some((index, item)) = next_job(queues, worker) {
-                    let result = f(item);
-                    *results[index].lock().expect("result lock") = Some(result);
-                }
-            });
+        let handles: Vec<_> = (0..threads)
+            .map(|worker| {
+                let queues = &queues;
+                scope.spawn(move || {
+                    // Lock-free write path: results buffer locally until the
+                    // worker runs out of jobs.
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    while let Some((index, item)) = next_job(queues, worker) {
+                        local.push((index, f(item)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (index, result) in handle.join().expect("worker thread panicked") {
+                debug_assert!(results[index].is_none(), "job {index} ran twice");
+                results[index] = Some(result);
+            }
         }
     });
 
-    results
-        .into_iter()
-        .map(|slot| slot.into_inner().expect("result lock").expect("every job ran"))
-        .collect()
+    results.into_iter().map(|slot| slot.expect("every job ran")).collect()
 }
 
 /// Pops the next job: own deque front first, then steal from the back of
@@ -129,5 +144,16 @@ mod tests {
     fn zero_threads_is_clamped_to_one() {
         let out = parallel_map(vec![1, 2, 3], 0, &|x| x);
         assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn non_clone_results_are_moved_through_the_buffer() {
+        // The result type is deliberately not Clone/Copy: the merge path
+        // must move results out of the workers' local buffers.
+        let out = parallel_map((0..16).collect::<Vec<u32>>(), 4, &|x| Box::new(x * 3));
+        assert_eq!(
+            out.iter().map(|b| **b).collect::<Vec<_>>(),
+            (0..16).map(|x| x * 3).collect::<Vec<_>>()
+        );
     }
 }

@@ -59,6 +59,16 @@ pub enum ScheduleError {
         /// Number of control steps actually used.
         used: u32,
     },
+    /// Frame propagation during force-directed scheduling drove a node's
+    /// earliest feasible step past its latest one.  Unreachable when the
+    /// initial timing analysis is feasible (fixing a node inside a
+    /// consistent frame preserves consistency); surfacing it instead of
+    /// clamping keeps a scheduler bug from silently producing an invalid
+    /// schedule.
+    InfeasiblePropagation {
+        /// The node whose time frame collapsed.
+        node: NodeId,
+    },
 }
 
 impl fmt::Display for ScheduleError {
@@ -83,6 +93,12 @@ impl fmt::Display for ScheduleError {
             }
             ScheduleError::LatencyExceeded { allowed, used } => {
                 write!(f, "schedule uses {used} control steps but only {allowed} are allowed")
+            }
+            ScheduleError::InfeasiblePropagation { node } => {
+                write!(
+                    f,
+                    "frame propagation made node {node} infeasible (earliest step past latest)"
+                )
             }
         }
     }
@@ -113,6 +129,7 @@ mod tests {
             ),
             (ScheduleError::ResourceOverflow { step: 2, class: "+", limit: 1, used: 2 }, "units"),
             (ScheduleError::LatencyExceeded { allowed: 3, used: 5 }, "control steps"),
+            (ScheduleError::InfeasiblePropagation { node: NodeId::new(3) }, "infeasible"),
         ];
         for (err, needle) in cases {
             assert!(err.to_string().contains(needle), "{err}");

@@ -1,4 +1,5 @@
-//! Latency-constrained force-directed scheduling (Paulin & Knight).
+//! Latency-constrained force-directed scheduling (Paulin & Knight) —
+//! incremental, index-dense kernel.
 //!
 //! Given a latency, force-directed scheduling chooses a control step for
 //! every operation so that operations of the same class are spread as evenly
@@ -6,14 +7,60 @@
 //! the final allocation needs.  This is the behaviour the paper relies on
 //! from HYPER's scheduler ("targeting minimum hardware resources for the
 //! desired throughput", step 11 of the algorithm).
+//!
+//! # Kernel design
+//!
+//! The reference implementation (`crate::naive`, compiled for tests and
+//! under the `reference` feature) rebuilds the whole
+//! distribution graph on a `BTreeMap<(OpClass, u32), f64>` and rescans every
+//! unfixed (node, step) pair on every iteration, with frame propagation run
+//! to a whole-graph fixed point over allocating adjacency accessors — an
+//! O(n²·L·W) map churn.  This kernel produces *equal schedules* (pinned by
+//! the schedule-identity property tests) from dense, incrementally
+//! maintained state:
+//!
+//! * **Frames and fixedness** live in flat arrays indexed by
+//!   [`NodeId::index`]; adjacency comes from the CDFG's cached CSR view
+//!   ([`cdfg::Slices`]), so the hot loop performs no allocation and no map
+//!   lookups.
+//! * **Distribution graph rows** are one `Vec<f64>` per operation class.  A
+//!   row is recomputed only when some member's frame changed, and the cells
+//!   are summed in ascending-node order — exactly the order the reference's
+//!   map construction uses — so the f64 values (and therefore every force
+//!   comparison) are bit-identical to the reference.
+//! * **Per-node best candidates** (step, self-force) are cached and
+//!   recomputed only for nodes whose frame or class row actually changed;
+//!   the global pick merges the cached candidates in ascending node order
+//!   with the reference's ε-tolerant comparator.  (The ε tie-break is not
+//!   transitive, so a segmented reduction could in principle diverge from
+//!   the reference's flat scan — but only if two *distinct* force values
+//!   fell within (ε, 2ε] of each other, which the rational structure of
+//!   forces on real circuits never produces; the schedule-identity
+//!   property tests pin the equality across every circuit family.)
+//! * **Propagation** is a worklist relaxation seeded from the just-fixed
+//!   node instead of a whole-graph fixed point.  The earliest- and
+//!   latest-step constraint systems are independent longest-path closures,
+//!   so seeded relaxation reaches the same unique fixed point.
+//!
+//! The invariant tying it together: after every iteration, each class row
+//! equals the column sums of its members' occupation probabilities, and each
+//! cached candidate equals the reference's scan result for the node's
+//! current frame and row.
 
-use std::collections::BTreeMap;
+use std::collections::VecDeque;
 
-use cdfg::{Cdfg, NodeId, OpClass};
+use cdfg::{Cdfg, NodeId, OpClass, Slices};
 
 use crate::error::ScheduleError;
 use crate::schedule::Schedule;
 use crate::timing::Timing;
+
+/// Comparison slack for self-forces: differences at or below this are ties,
+/// broken towards the smaller (node, step) pair.
+const EPS: f64 = 1e-9;
+
+/// Number of functional operation classes (the DG row count).
+const NUM_CLASSES: usize = OpClass::FUNCTIONAL.len();
 
 /// Mutable time frame `[earliest, latest]` of an operation during
 /// force-directed scheduling.
@@ -52,149 +99,277 @@ pub fn schedule(cdfg: &Cdfg, latency: u32) -> Result<Schedule, ScheduleError> {
             critical_path: timing.min_latency(),
         });
     }
+    schedule_with_timing(cdfg, &timing)
+}
 
-    let functional = cdfg.functional_nodes();
-    let mut frames: BTreeMap<NodeId, Frame> = functional
-        .iter()
-        .map(|&n| (n, Frame { earliest: timing.asap(n), latest: timing.alap(n) }))
-        .collect();
+/// Like [`schedule`], but reuses a timing analysis the caller already
+/// computed for this `cdfg` and latency (the analysis must be feasible).
+pub(crate) fn schedule_with_timing(
+    cdfg: &Cdfg,
+    timing: &Timing,
+) -> Result<Schedule, ScheduleError> {
+    Kernel::new(cdfg, timing).run()
+}
 
-    // Nodes with a single-step frame are already fixed.
-    let mut fixed: BTreeMap<NodeId, u32> = BTreeMap::new();
-    for (&n, frame) in &frames {
-        if frame.width() == 1 {
-            fixed.insert(n, frame.earliest);
+/// All mutable state of one force-directed scheduling run, slot-indexed by
+/// [`NodeId::index`].
+struct Kernel<'a> {
+    slices: &'a Slices,
+    latency: u32,
+    /// Current time frame of each functional node.
+    frames: Vec<Frame>,
+    /// Whether the node's step has been fixed (its frame is then width 1).
+    fixed: Vec<bool>,
+    fixed_count: usize,
+    /// Dense class id of each functional node.
+    class_of: Vec<u8>,
+    /// Members of each class, ascending node id (the DG summation order).
+    class_members: [Vec<NodeId>; NUM_CLASSES],
+    /// One distribution-graph row per class, indexed by control step.
+    dg: [Vec<f64>; NUM_CLASSES],
+    /// Classes whose row must be recomputed before the next pick.
+    class_dirty: [bool; NUM_CLASSES],
+    /// Cached best (step, self-force) per unfixed node.
+    cand: Vec<(u32, f64)>,
+    cand_valid: Vec<bool>,
+    /// Nodes whose frame changed since the last pick (deduplicated).
+    changed: Vec<NodeId>,
+    changed_flag: Vec<bool>,
+    /// Worklist scratch for seeded propagation.
+    queue: VecDeque<NodeId>,
+}
+
+impl<'a> Kernel<'a> {
+    fn new(cdfg: &'a Cdfg, timing: &Timing) -> Self {
+        let slices = cdfg.slices();
+        let slots = slices.slot_count();
+        let latency = timing.latency();
+
+        let mut frames = vec![Frame { earliest: 0, latest: 0 }; slots];
+        let mut fixed = vec![false; slots];
+        let mut fixed_count = 0;
+        let mut class_of = vec![0u8; slots];
+        let mut class_members: [Vec<NodeId>; NUM_CLASSES] = Default::default();
+        for &n in slices.functional() {
+            let data = cdfg.node(n).expect("live node");
+            let i = n.index();
+            let frame = Frame { earliest: timing.asap(n), latest: timing.alap(n) };
+            frames[i] = frame;
+            if frame.width() == 1 {
+                fixed[i] = true;
+                fixed_count += 1;
+            }
+            let class = data.op.class().dense_index();
+            class_of[i] = class as u8;
+            class_members[class].push(n);
+        }
+
+        let rows = core::array::from_fn(|_| vec![0.0; latency as usize + 1]);
+
+        Kernel {
+            slices,
+            latency,
+            frames,
+            fixed,
+            fixed_count,
+            class_of,
+            class_members,
+            dg: rows,
+            class_dirty: [true; NUM_CLASSES],
+            cand: vec![(0, 0.0); slots],
+            cand_valid: vec![false; slots],
+            changed: Vec::new(),
+            changed_flag: vec![false; slots],
+            queue: VecDeque::new(),
         }
     }
 
-    while fixed.len() < functional.len() {
-        // Distribution graphs: expected number of operations of each class in
-        // each step, given the current frames.
-        let mut dg: BTreeMap<(OpClass, u32), f64> = BTreeMap::new();
-        for (&n, frame) in &frames {
-            let class = cdfg.node(n).expect("live node").op.class();
-            for step in frame.earliest..=frame.latest {
-                *dg.entry((class, step)).or_insert(0.0) += frame.probability(step);
+    fn run(mut self) -> Result<Schedule, ScheduleError> {
+        let total = self.slices.functional().len();
+        while self.fixed_count < total {
+            self.refresh_dirty_rows();
+            let (node, step) = self.pick();
+            let i = node.index();
+            self.fixed[i] = true;
+            self.fixed_count += 1;
+            self.frames[i] = Frame { earliest: step, latest: step };
+            self.mark_changed(node);
+            self.propagate_from(node)?;
+            // Frame changes dirty the owning class's DG row and the node's
+            // cached candidate.
+            for k in 0..self.changed.len() {
+                let m = self.changed[k];
+                self.class_dirty[self.class_of[m.index()] as usize] = true;
+                self.cand_valid[m.index()] = false;
+                self.changed_flag[m.index()] = false;
             }
+            self.changed.clear();
         }
 
-        // Pick the unfixed (node, step) pair with the smallest self-force.
-        let mut best: Option<(NodeId, u32, f64)> = None;
-        for &n in &functional {
-            if fixed.contains_key(&n) {
+        let mut schedule = Schedule::new(self.latency);
+        for &n in self.slices.functional() {
+            schedule.assign(n, self.frames[n.index()].earliest);
+        }
+        Ok(schedule)
+    }
+
+    /// Rebuilds the DG rows of dirty classes and drops the cached candidates
+    /// of their unfixed members.  Cells are summed over members in ascending
+    /// node order — the reference implementation's map-construction order —
+    /// so the resulting f64 values are bit-identical to a full rebuild.
+    fn refresh_dirty_rows(&mut self) {
+        for class in 0..NUM_CLASSES {
+            if !self.class_dirty[class] {
                 continue;
             }
-            let frame = frames[&n];
-            let class = cdfg.node(n).expect("live node").op.class();
-            for step in frame.earliest..=frame.latest {
-                // Self force = DG(step) * (1 - p) - sum_{other steps} DG * p,
-                // the standard Paulin/Knight formulation restricted to the
-                // operation's own frame.
-                let force = self_force(&dg, class, frame, step);
-                let better = match best {
-                    None => true,
-                    Some((bn, bs, bf)) => {
-                        force < bf - 1e-9 || ((force - bf).abs() <= 1e-9 && (n, step) < (bn, bs))
-                    }
-                };
-                if better {
-                    best = Some((n, step, force));
+            self.class_dirty[class] = false;
+            self.dg[class].fill(0.0);
+            for &m in &self.class_members[class] {
+                let frame = self.frames[m.index()];
+                let p = frame.probability(frame.earliest);
+                for step in frame.earliest..=frame.latest {
+                    self.dg[class][step as usize] += p;
+                }
+                if !self.fixed[m.index()] {
+                    self.cand_valid[m.index()] = false;
                 }
             }
         }
+    }
 
+    /// Picks the unfixed (node, step) pair with the smallest self-force,
+    /// refreshing invalidated per-node candidates on the way.  Ties within
+    /// [`EPS`] go to the smaller (node, step) pair, like the reference's
+    /// flat scan (see the module docs for the ε-chain caveat).
+    fn pick(&mut self) -> (NodeId, u32) {
+        let mut best: Option<(NodeId, u32, f64)> = None;
+        for &n in self.slices.functional() {
+            let i = n.index();
+            if self.fixed[i] {
+                continue;
+            }
+            if !self.cand_valid[i] {
+                self.cand[i] = self.best_candidate(n);
+                self.cand_valid[i] = true;
+            }
+            let (step, force) = self.cand[i];
+            let better = match best {
+                None => true,
+                Some((bn, bs, bf)) => {
+                    force < bf - EPS || ((force - bf).abs() <= EPS && (n, step) < (bn, bs))
+                }
+            };
+            if better {
+                best = Some((n, step, force));
+            }
+        }
         let (node, step, _) = best.expect("at least one unfixed node");
-        fixed.insert(node, step);
-        frames.insert(node, Frame { earliest: step, latest: step });
-
-        // Propagate the tightened frame through the precedence relation.
-        propagate(cdfg, &mut frames, &fixed, latency);
+        (node, step)
     }
 
-    let mut schedule = Schedule::new(latency);
-    for (n, s) in fixed {
-        schedule.assign(n, s);
+    /// The node's best step by self-force, scanning its frame in ascending
+    /// order with the reference comparator.
+    fn best_candidate(&self, n: NodeId) -> (u32, f64) {
+        let frame = self.frames[n.index()];
+        let row = &self.dg[self.class_of[n.index()] as usize];
+        let mut best: Option<(u32, f64)> = None;
+        for step in frame.earliest..=frame.latest {
+            let force = self_force(row, frame, step);
+            let better = match best {
+                None => true,
+                Some((_, bf)) => force < bf - EPS,
+            };
+            if better {
+                best = Some((step, force));
+            }
+        }
+        best.expect("frames are non-empty")
     }
-    Ok(schedule)
+
+    fn mark_changed(&mut self, n: NodeId) {
+        if !self.changed_flag[n.index()] {
+            self.changed_flag[n.index()] = true;
+            self.changed.push(n);
+        }
+    }
+
+    /// Restores frame consistency after `origin`'s frame tightened: a
+    /// worklist relaxation of the earliest-step system along successors and
+    /// the latest-step system along predecessors.  Both systems are
+    /// longest-path closures whose only newly violated constraints leave
+    /// `origin`, so seeding there reaches the same fixed point the
+    /// reference's whole-graph iteration computes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError::InfeasiblePropagation`] if a constraint
+    /// pushes a frame's earliest step past its latest one — unreachable when
+    /// fixing happens inside consistent frames, but surfaced rather than
+    /// clamped away.
+    fn propagate_from(&mut self, origin: NodeId) -> Result<(), ScheduleError> {
+        // Forward: successors must start after their predecessors finish.
+        self.queue.push_back(origin);
+        while let Some(n) = self.queue.pop_front() {
+            let bound = self.frames[n.index()].earliest + 1;
+            for &s in self.slices.succs(n) {
+                if !self.slices.is_functional(s) {
+                    continue;
+                }
+                let i = s.index();
+                if bound > self.frames[i].latest {
+                    self.queue.clear();
+                    return Err(ScheduleError::InfeasiblePropagation { node: s });
+                }
+                if !self.fixed[i] && bound > self.frames[i].earliest {
+                    self.frames[i].earliest = bound;
+                    self.mark_changed(s);
+                    self.queue.push_back(s);
+                }
+            }
+        }
+        // Backward: predecessors must finish before their successors start.
+        self.queue.push_back(origin);
+        while let Some(n) = self.queue.pop_front() {
+            let bound = self.frames[n.index()].latest.saturating_sub(1);
+            for &p in self.slices.preds(n) {
+                if !self.slices.is_functional(p) {
+                    continue;
+                }
+                let i = p.index();
+                if bound < self.frames[i].earliest {
+                    self.queue.clear();
+                    return Err(ScheduleError::InfeasiblePropagation { node: p });
+                }
+                if !self.fixed[i] && bound < self.frames[i].latest {
+                    self.frames[i].latest = bound;
+                    self.mark_changed(p);
+                    self.queue.push_back(p);
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
-/// Self force of placing an operation of `class` with time frame `frame` at
-/// `step`: the standard `DG · (new probability − old probability)` sum over
-/// the frame.
-fn self_force(dg: &BTreeMap<(OpClass, u32), f64>, class: OpClass, frame: Frame, step: u32) -> f64 {
+/// Self force of placing an operation with time frame `frame` at `step`,
+/// against its class's DG row: the standard
+/// `DG · (new probability − old probability)` sum over the frame, evaluated
+/// term-by-term in ascending step order (the reference's summation order).
+fn self_force(row: &[f64], frame: Frame, step: u32) -> f64 {
     let p = frame.probability(step);
     let mut force = 0.0;
     for s in frame.earliest..=frame.latest {
-        let dg_s = dg.get(&(class, s)).copied().unwrap_or(0.0);
+        let dg_s = row[s as usize];
         let delta = if s == step { 1.0 - p } else { -p };
         force += dg_s * delta;
     }
     force
 }
 
-/// Restores frame consistency after a node has been fixed: every functional
-/// successor must start after its predecessors, every predecessor must
-/// finish before its successors.
-fn propagate(
-    cdfg: &Cdfg,
-    frames: &mut BTreeMap<NodeId, Frame>,
-    fixed: &BTreeMap<NodeId, u32>,
-    latency: u32,
-) {
-    // Iterate to a fixed point; graphs are small (tens to hundreds of nodes).
-    let order = cdfg.topological_order();
-    loop {
-        let mut changed = false;
-        // Forward: earliest = max(pred earliest + 1).
-        for &n in &order {
-            if !frames.contains_key(&n) {
-                continue;
-            }
-            let mut earliest = frames[&n].earliest;
-            for p in cdfg.predecessors(n) {
-                if let Some(pf) = frames.get(&p) {
-                    earliest = earliest.max(pf.earliest + 1);
-                }
-            }
-            if fixed.contains_key(&n) {
-                continue;
-            }
-            let frame = frames.get_mut(&n).expect("present");
-            if earliest > frame.earliest {
-                frame.earliest = earliest.min(latency);
-                frame.latest = frame.latest.max(frame.earliest);
-                changed = true;
-            }
-        }
-        // Backward: latest = min(succ latest - 1).
-        for &n in order.iter().rev() {
-            if !frames.contains_key(&n) {
-                continue;
-            }
-            let mut latest = frames[&n].latest;
-            for s in cdfg.successors(n) {
-                if let Some(sf) = frames.get(&s) {
-                    latest = latest.min(sf.latest.saturating_sub(1).max(1));
-                }
-            }
-            if fixed.contains_key(&n) {
-                continue;
-            }
-            let frame = frames.get_mut(&n).expect("present");
-            if latest < frame.latest {
-                frame.latest = latest.max(frame.earliest);
-                changed = true;
-            }
-        }
-        if !changed {
-            break;
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::naive;
     use crate::resource::ResourceConstraint;
     use cdfg::Op;
 
@@ -289,5 +464,106 @@ mod tests {
         let s1 = schedule(&g, 4).unwrap();
         let s2 = schedule(&g, 4).unwrap();
         assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn matches_the_naive_reference_on_hand_circuits() {
+        let (g, ..) = abs_diff();
+        for latency in 2..8 {
+            assert_eq!(
+                schedule(&g, latency).unwrap(),
+                naive::schedule(&g, latency).unwrap(),
+                "latency {latency}"
+            );
+        }
+
+        let (mut h, gt, amb, bma, _) = abs_diff();
+        h.add_control_edge(gt, amb).unwrap();
+        h.add_control_edge(gt, bma).unwrap();
+        for latency in 3..8 {
+            assert_eq!(
+                schedule(&h, latency).unwrap(),
+                naive::schedule(&h, latency).unwrap(),
+                "constrained, latency {latency}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_the_naive_reference_on_a_wide_mixed_graph() {
+        // A two-layer mixed-class graph with plenty of slack, so many
+        // iterations of pick/propagate run with non-trivial frames.
+        let mut g = Cdfg::new("mixed");
+        let mut layer = Vec::new();
+        for i in 0..6 {
+            let a = g.add_input(format!("a{i}"));
+            let b = g.add_input(format!("b{i}"));
+            let op = match i % 3 {
+                0 => Op::Add,
+                1 => Op::Mul,
+                _ => Op::Sub,
+            };
+            layer.push(g.add_op(op, &[a, b]).unwrap());
+        }
+        let mut acc = layer[0];
+        for &n in &layer[1..] {
+            acc = g.add_op(Op::Add, &[acc, n]).unwrap();
+        }
+        let sel = g.add_op(Op::Gt, &[layer[0], layer[1]]).unwrap();
+        let m = g.add_mux(sel, acc, layer[2]).unwrap();
+        g.add_output("o", m).unwrap();
+
+        let cp = g.critical_path_length();
+        for latency in cp..cp + 5 {
+            assert_eq!(
+                schedule(&g, latency).unwrap(),
+                naive::schedule(&g, latency).unwrap(),
+                "latency {latency}"
+            );
+        }
+    }
+
+    #[test]
+    fn propagate_surfaces_infeasibility_instead_of_clamping() {
+        // Regression for the backward-pass clamp: a deep chain whose tail is
+        // fixed far too early must error, not silently floor the chain's
+        // frames at step 1.
+        let mut g = Cdfg::new("chain");
+        let x = g.add_input("x");
+        let a = g.add_op(Op::Neg, &[x]).unwrap();
+        let b = g.add_op(Op::Neg, &[a]).unwrap();
+        let c = g.add_op(Op::Neg, &[b]).unwrap();
+        let d = g.add_op(Op::Neg, &[c]).unwrap();
+        g.add_output("o", d).unwrap();
+
+        let timing = Timing::compute(&g, 6);
+        let mut kernel = Kernel::new(&g, &timing);
+        // Simulate a (buggy) late fix: d pinned to step 2 even though three
+        // predecessors must run first.
+        let i = d.index();
+        kernel.frames[i] = Frame { earliest: 2, latest: 2 };
+        kernel.fixed[i] = true;
+        kernel.fixed_count += 1;
+        let err = kernel.propagate_from(d).unwrap_err();
+        assert!(matches!(err, ScheduleError::InfeasiblePropagation { .. }));
+        assert!(kernel.queue.is_empty(), "worklist drained on error");
+    }
+
+    #[test]
+    fn feasible_deep_chains_match_the_naive_reference() {
+        // Chains are the worst case for seeded propagation (every fix
+        // cascades end to end); the direct error-path test for the naive
+        // reference lives in naive::tests.
+        let mut g = Cdfg::new("chain");
+        let x = g.add_input("x");
+        let mut prev = g.add_op(Op::Neg, &[x]).unwrap();
+        for _ in 0..4 {
+            prev = g.add_op(Op::Neg, &[prev]).unwrap();
+        }
+        g.add_output("o", prev).unwrap();
+        // Feasible latencies still schedule fine in both kernels.
+        for latency in 5..9 {
+            assert_eq!(schedule(&g, latency).unwrap(), naive::schedule(&g, latency).unwrap(),);
+        }
     }
 }

@@ -56,7 +56,9 @@ pub fn schedule(cdfg: &Cdfg, options: &HyperOptions) -> Result<Schedule, Schedul
         });
     }
     match &options.resources {
-        ResourceConstraint::Unlimited => force::schedule(cdfg, options.latency),
+        // The timing analysis above is already feasible; hand it to the
+        // force-directed kernel instead of recomputing it.
+        ResourceConstraint::Unlimited => force::schedule_with_timing(cdfg, &timing),
         constraint @ ResourceConstraint::Limited(set) => {
             match list::schedule_with_latency(cdfg, constraint, options.latency) {
                 Ok(s) => Ok(s),
@@ -66,7 +68,7 @@ pub fn schedule(cdfg: &Cdfg, options: &HyperOptions) -> Result<Schedule, Schedul
                     // the resource-minimising schedule as a fallback — if it
                     // happens to fit inside the allocation, it is a valid
                     // answer.
-                    let fallback = force::schedule(cdfg, options.latency)?;
+                    let fallback = force::schedule_with_timing(cdfg, &timing)?;
                     if fallback.resource_usage(cdfg).fits_within(set) {
                         Ok(fallback)
                     } else {

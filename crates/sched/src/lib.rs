@@ -15,7 +15,11 @@
 //!   accounting,
 //! * [`list`] — resource-constrained list scheduling,
 //! * [`force`] — latency-constrained force-directed scheduling (minimises
-//!   the number of execution units, like HYPER),
+//!   the number of execution units, like HYPER), as an incremental,
+//!   allocation-free kernel over dense per-class distribution-graph rows,
+//! * `naive` — the original map-based force-directed scheduler, compiled
+//!   under `cfg(test)` or the `reference` feature as the behavioural
+//!   reference the identity tests and benches compare against,
 //! * [`hyper`] — the combined "HYPER-style" entry point used by the
 //!   power-management flow after control edges have been inserted.
 //!
@@ -49,6 +53,8 @@ pub mod error;
 pub mod force;
 pub mod hyper;
 pub mod list;
+#[cfg(any(test, feature = "reference"))]
+pub mod naive;
 pub mod resource;
 pub mod schedule;
 pub mod timing;

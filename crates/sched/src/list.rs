@@ -5,10 +5,13 @@
 //! ready operations are placed in priority order (most urgent first, measured
 //! by ALAP) until the per-class execution-unit limits are exhausted, then the
 //! step advances.
+//!
+//! The inner loop runs on the CDFG's cached slice adjacency and dense,
+//! slot-indexed arrays (pending-predecessor counts, step assignments), so a
+//! scheduling run performs no per-query allocation; only the per-step ready
+//! list is (re)used across steps.
 
-use std::collections::BTreeMap;
-
-use cdfg::{Cdfg, NodeId};
+use cdfg::{Cdfg, NodeId, OpClass};
 
 use crate::error::ScheduleError;
 use crate::resource::ResourceConstraint;
@@ -42,28 +45,30 @@ pub fn schedule(
     }
 
     let timing = Timing::compute(cdfg, priority_latency.max(1));
-    let functional = cdfg.functional_nodes();
+    let slices = cdfg.slices();
+    let functional = slices.functional();
     let total = functional.len();
+    let slots = slices.slot_count();
 
-    // Remaining unscheduled functional predecessors per node.
-    let mut pending_preds: BTreeMap<NodeId, usize> = BTreeMap::new();
-    for &n in &functional {
-        let count = cdfg
-            .predecessors(n)
-            .into_iter()
-            .filter(|&p| cdfg.node(p).map(|d| d.op.is_functional()).unwrap_or(false))
-            .count();
-        pending_preds.insert(n, count);
+    // Remaining unscheduled functional predecessors per node, slot-indexed.
+    let mut pending_preds: Vec<u32> = vec![0; slots];
+    for &n in functional {
+        pending_preds[n.index()] =
+            slices.preds(n).iter().filter(|&&p| slices.is_functional(p)).count() as u32;
     }
 
-    let mut result: BTreeMap<NodeId, u32> = BTreeMap::new();
+    // Assigned step per node; 0 means not scheduled yet.
+    let mut steps: Vec<u32> = vec![0; slots];
+    let mut scheduled = 0usize;
     let mut step = 0u32;
     // Hard cap to guarantee termination even on adversarial inputs: every
     // step schedules at least one ready op when any unit is available, so
     // `total + latency` steps is far more than enough.
     let max_steps = (total as u32 + priority_latency + 2).max(4) * 2;
 
-    while result.len() < total {
+    let mut ready: Vec<NodeId> = Vec::with_capacity(total);
+    let mut placed_this_step: Vec<NodeId> = Vec::with_capacity(total);
+    while scheduled < total {
         step += 1;
         if step > max_steps {
             return Err(ScheduleError::InsufficientResources { latency: priority_latency });
@@ -71,43 +76,45 @@ pub fn schedule(
 
         // Ready operations: all functional predecessors scheduled in a
         // *previous* step.
-        let mut ready: Vec<NodeId> = functional
-            .iter()
-            .copied()
-            .filter(|n| !result.contains_key(n))
-            .filter(|n| pending_preds[n] == 0)
-            .collect();
+        ready.clear();
+        ready.extend(
+            functional
+                .iter()
+                .copied()
+                .filter(|n| steps[n.index()] == 0 && pending_preds[n.index()] == 0),
+        );
         // Priority: smaller ALAP (more urgent) first, then smaller mobility,
         // then node id for determinism.
         ready.sort_by_key(|&n| (timing.alap(n), timing.mobility(n).unwrap_or(0), n));
 
-        let mut used: BTreeMap<cdfg::OpClass, usize> = BTreeMap::new();
-        let mut placed_this_step: Vec<NodeId> = Vec::new();
-        for n in ready {
+        let mut used = [0usize; OpClass::FUNCTIONAL.len()];
+        placed_this_step.clear();
+        for &n in &ready {
             let class = cdfg.node(n).expect("live node").op.class();
-            let in_use = used.get(&class).copied().unwrap_or(0);
-            if constraint.allows(class, in_use + 1) {
-                *used.entry(class).or_insert(0) += 1;
-                result.insert(n, step);
+            let slot = class.dense_index();
+            if constraint.allows(class, used[slot] + 1) {
+                used[slot] += 1;
+                steps[n.index()] = step;
+                scheduled += 1;
                 placed_this_step.push(n);
             }
         }
 
         // Only after the step closes do successors of the placed operations
         // become ready (results are available at the step boundary).
-        for n in placed_this_step {
-            for s in cdfg.successors(n) {
-                if let Some(p) = pending_preds.get_mut(&s) {
-                    *p = p.saturating_sub(1);
+        for &n in &placed_this_step {
+            for &s in slices.succs(n) {
+                if slices.is_functional(s) {
+                    pending_preds[s.index()] = pending_preds[s.index()].saturating_sub(1);
                 }
             }
         }
     }
 
-    let num_steps = result.values().copied().max().unwrap_or(0).max(1);
+    let num_steps = functional.iter().map(|&n| steps[n.index()]).max().unwrap_or(0).max(1);
     let mut schedule = Schedule::new(num_steps);
-    for (n, s) in result {
-        schedule.assign(n, s);
+    for &n in functional {
+        schedule.assign(n, steps[n.index()]);
     }
     Ok(schedule)
 }

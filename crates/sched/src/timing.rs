@@ -8,21 +8,34 @@
 //! Control steps are numbered from 1; structural nodes (inputs, constants,
 //! outputs) are not scheduled and carry an ASAP of 0 and an ALAP of
 //! `latency + 1` for convenience.
-
-use std::collections::BTreeMap;
+//!
+//! # Representation
+//!
+//! ASAP and ALAP live in two dense `Vec<u32>` indexed by
+//! [`NodeId::index`] — not in ordered maps.  The per-mux retiming loop in
+//! the core algorithm recomputes timing once per multiplexor, and the
+//! schedulers consult it for every node; dense arrays make each lookup one
+//! bounds-checked load, and [`Timing::compute_into`] lets callers reuse the
+//! two buffers across recomputations instead of reallocating.
 
 use cdfg::{Cdfg, NodeId};
 
 /// ASAP and ALAP step assignments for every functional node of a CDFG under
 /// a given latency (number of control steps).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Timing {
     latency: u32,
-    asap: BTreeMap<NodeId, u32>,
-    alap: BTreeMap<NodeId, u32>,
+    asap: Vec<u32>,
+    alap: Vec<u32>,
 }
 
 impl Timing {
+    /// An empty analysis holding no nodes; useful as a reusable buffer for
+    /// [`Timing::compute_into`].  Querying it panics.
+    pub fn empty() -> Self {
+        Timing::default()
+    }
+
     /// Computes ASAP and ALAP values for all functional nodes of `cdfg`
     /// assuming `latency` control steps are available.
     ///
@@ -34,43 +47,54 @@ impl Timing {
     ///
     /// Panics if the CDFG is cyclic or `latency` is zero.
     pub fn compute(cdfg: &Cdfg, latency: u32) -> Self {
+        let mut timing = Timing::empty();
+        timing.compute_into(cdfg, latency);
+        timing
+    }
+
+    /// Recomputes the analysis in place, reusing the existing buffers.
+    ///
+    /// Semantically identical to `*self = Timing::compute(cdfg, latency)`
+    /// but allocation-free once the buffers have grown to the graph's size —
+    /// the shape the core algorithm's per-multiplexor retiming loop needs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the CDFG is cyclic or `latency` is zero.
+    pub fn compute_into(&mut self, cdfg: &Cdfg, latency: u32) {
         assert!(latency > 0, "latency must be at least one control step");
-        let order = cdfg.topological_order();
+        let slices = cdfg.slices();
+        let slots = slices.slot_count();
 
-        let mut asap: BTreeMap<NodeId, u32> = BTreeMap::new();
-        for &n in &order {
-            let data = cdfg.node(n).expect("live node");
-            if !data.op.is_functional() {
-                asap.insert(n, 0);
-                continue;
+        self.latency = latency;
+        self.asap.clear();
+        self.asap.resize(slots, 0);
+        self.alap.clear();
+        self.alap.resize(slots, latency + 1);
+
+        for &n in slices.topo() {
+            if !slices.is_functional(n) {
+                continue; // structural nodes keep ASAP 0
             }
-            let earliest = cdfg
-                .predecessors(n)
-                .into_iter()
-                .map(|p| *asap.get(&p).unwrap_or(&0))
-                .max()
-                .unwrap_or(0);
-            asap.insert(n, earliest + 1);
+            let mut earliest = 0;
+            for &p in slices.preds(n) {
+                earliest = earliest.max(self.asap[p.index()]);
+            }
+            self.asap[n.index()] = earliest + 1;
         }
 
-        let mut alap: BTreeMap<NodeId, u32> = BTreeMap::new();
-        for &n in order.iter().rev() {
-            let data = cdfg.node(n).expect("live node");
-            if !data.op.is_functional() {
-                alap.insert(n, latency + 1);
-                continue;
+        for &n in slices.topo().iter().rev() {
+            if !slices.is_functional(n) {
+                continue; // structural nodes keep ALAP latency + 1
             }
-            let latest = cdfg
-                .successors(n)
-                .into_iter()
-                .filter(|&s| cdfg.node(s).map(|d| d.op.is_functional()).unwrap_or(false))
-                .map(|s| alap.get(&s).copied().unwrap_or(latency + 1).saturating_sub(1))
-                .min()
-                .unwrap_or(latency);
-            alap.insert(n, latest);
+            let mut latest = latency;
+            for &s in slices.succs(n) {
+                if slices.is_functional(s) {
+                    latest = latest.min(self.alap[s.index()].saturating_sub(1));
+                }
+            }
+            self.alap[n.index()] = latest;
         }
-
-        Timing { latency, asap, alap }
     }
 
     /// The latency (number of control steps) this analysis was computed for.
@@ -82,18 +106,24 @@ impl Timing {
     ///
     /// # Panics
     ///
-    /// Panics if `node` was not part of the analysed CDFG.
+    /// Panics if `node`'s index lies outside the analysed CDFG's node
+    /// range.  An id minted for a *different* graph whose index happens to
+    /// be in range reads that slot's value — pass only ids from the
+    /// analysed CDFG.
     pub fn asap(&self, node: NodeId) -> u32 {
-        self.asap[&node]
+        self.asap[node.index()]
     }
 
     /// ALAP step of `node` (`latency + 1` for structural nodes).
     ///
     /// # Panics
     ///
-    /// Panics if `node` was not part of the analysed CDFG.
+    /// Panics if `node`'s index lies outside the analysed CDFG's node
+    /// range.  An id minted for a *different* graph whose index happens to
+    /// be in range reads that slot's value — pass only ids from the
+    /// analysed CDFG.
     pub fn alap(&self, node: NodeId) -> u32 {
-        self.alap[&node]
+        self.alap[node.index()]
     }
 
     /// Mobility (slack) of a functional node: `ALAP - ASAP`.  Zero mobility
@@ -106,23 +136,32 @@ impl Timing {
     /// Nodes whose ASAP exceeds their ALAP, i.e. nodes that cannot be
     /// scheduled within the latency.
     pub fn infeasible_nodes(&self) -> Vec<NodeId> {
-        self.asap.iter().filter(|(n, &a)| a > 0 && a > self.alap[n]).map(|(&n, _)| n).collect()
+        self.asap
+            .iter()
+            .enumerate()
+            .filter(|&(i, &a)| a > 0 && a > self.alap[i])
+            .map(|(i, _)| NodeId::new(i as u32))
+            .collect()
     }
 
     /// Returns `true` when every functional node satisfies ASAP ≤ ALAP.
     pub fn is_feasible(&self) -> bool {
-        self.infeasible_nodes().is_empty()
+        self.asap.iter().enumerate().all(|(i, &a)| a == 0 || a <= self.alap[i])
     }
 
     /// Iterates over `(node, asap, alap)` triples for functional nodes.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, u32, u32)> + '_ {
-        self.asap.iter().filter(|(_, &a)| a > 0).map(|(&n, &a)| (n, a, self.alap[&n]))
+        self.asap
+            .iter()
+            .enumerate()
+            .filter(|&(_, &a)| a > 0)
+            .map(|(i, &a)| (NodeId::new(i as u32), a, self.alap[i]))
     }
 
     /// The minimum latency for which this CDFG is feasible: the maximum ASAP
     /// over all functional nodes (equals the critical-path length).
     pub fn min_latency(&self) -> u32 {
-        self.asap.values().copied().max().unwrap_or(0)
+        self.asap.iter().copied().max().unwrap_or(0)
     }
 }
 
@@ -220,5 +259,24 @@ mod tests {
         let (g, ..) = abs_diff();
         let t = Timing::compute(&g, 10);
         assert_eq!(t.min_latency(), g.critical_path_length());
+    }
+
+    #[test]
+    fn compute_into_reuses_buffers_and_matches_compute() {
+        let (g, ..) = abs_diff();
+        let mut reused = Timing::empty();
+        for latency in 2..6 {
+            reused.compute_into(&g, latency);
+            assert_eq!(reused, Timing::compute(&g, latency), "latency {latency}");
+        }
+        // Shrinking graphs (or a different graph) must fully overwrite.
+        let mut small = Cdfg::new("one_add");
+        let a = small.add_input("a");
+        let b = small.add_input("b");
+        let s = small.add_op(Op::Add, &[a, b]).unwrap();
+        small.add_output("o", s).unwrap();
+        reused.compute_into(&small, 3);
+        assert_eq!(reused, Timing::compute(&small, 3));
+        assert_eq!(reused.iter().count(), 1);
     }
 }
