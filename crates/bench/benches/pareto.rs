@@ -1,0 +1,101 @@
+//! Pareto-explorer microbench: warm-started full-range budget walks
+//! against cold per-budget runs, plus the parallel explorer end to end.
+//!
+//! The warm walk is the explorer's inner loop: one `sched::force::Workspace`
+//! carried across every budget of a circuit, so timing analysis and kernel
+//! buffers are reused instead of reallocated.  Before timing, every case
+//! asserts the warm and cold flows produce equal schedules, so the bench
+//! cannot quietly measure two different algorithms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cdfg::Cdfg;
+use engine::{BudgetCeiling, BudgetPolicy, Engine, ExploreOptions, ExploreRequest};
+use gen::{Family, GenSpec};
+use pmsched::{power_manage, power_manage_with_workspace, PowerManagementOptions};
+use power::DelayScaling;
+use sched::force::Workspace;
+
+/// Named circuits with their full budget range (critical path ..= cp + 6).
+fn cases() -> Vec<(String, Cdfg, std::ops::RangeInclusive<u32>)> {
+    let mut cases = Vec::new();
+    for bench in circuits::all_benchmarks() {
+        if bench.name == "cordic" {
+            continue; // 48-step budgets dominate the group's wall time
+        }
+        let cp = bench.cdfg.critical_path_length();
+        cases.push((bench.name.clone(), bench.cdfg, cp..=cp + 6));
+    }
+    let mut spec = GenSpec::new(Family::RandomDag, 11, 1);
+    spec.width = 8;
+    spec.depth = 12;
+    let bench = gen::generate_one(&spec, 0).expect("valid spec");
+    let cp = bench.cdfg.critical_path_length();
+    cases.push((bench.name, bench.cdfg, cp..=cp + 6));
+    cases
+}
+
+fn bench_budget_walks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pareto_walk");
+    group.sample_size(10);
+    for (name, cdfg, budgets) in cases() {
+        // Identity guard: the warm walk must reproduce the cold results.
+        let mut ws = Workspace::new();
+        for budget in budgets.clone() {
+            let options = PowerManagementOptions::with_latency(budget);
+            let warm = power_manage_with_workspace(&cdfg, &options, &mut ws).expect("feasible");
+            let cold = power_manage(&cdfg, &options).expect("feasible");
+            assert_eq!(warm.schedule(), cold.schedule(), "{name} diverged at {budget}");
+        }
+
+        let label = format!("{name}/{}n", cdfg.node_count());
+        group.bench_with_input(BenchmarkId::new("cold", &label), &cdfg, |b, g| {
+            b.iter(|| {
+                for budget in budgets.clone() {
+                    let options = PowerManagementOptions::with_latency(budget);
+                    black_box(power_manage(g, &options).expect("feasible"));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("warm", &label), &cdfg, |b, g| {
+            let mut ws = Workspace::new();
+            b.iter(|| {
+                for budget in budgets.clone() {
+                    let options = PowerManagementOptions::with_latency(budget);
+                    black_box(power_manage_with_workspace(g, &options, &mut ws).expect("feasible"));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_explorer(c: &mut Criterion) {
+    let engine = Engine::new();
+    let requests: Vec<ExploreRequest> =
+        ["dealer", "gcd", "vender", "abs_diff"].map(ExploreRequest::new).to_vec();
+    let options = ExploreOptions::new()
+        .policy(BudgetPolicy::Pareto)
+        .ceiling(BudgetCeiling::CriticalPathPlus(6))
+        .scaling(DelayScaling::Quadratic);
+    let baseline = engine.explore(&requests, &options, 1);
+    let mut group = c.benchmark_group("pareto_explore");
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        assert_eq!(
+            engine.explore(&requests, &options, threads).to_json(),
+            baseline.to_json(),
+            "explorer must be thread-count independent"
+        );
+        group.bench_with_input(
+            BenchmarkId::new("paper", format!("{threads}t")),
+            &threads,
+            |b, &t| b.iter(|| black_box(engine.explore(&requests, &options, t))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_budget_walks, bench_explorer);
+criterion_main!(benches);

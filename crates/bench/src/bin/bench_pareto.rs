@@ -1,0 +1,214 @@
+//! Emits `BENCH_pareto.json`: the performance trajectory of the Pareto
+//! explorer.
+//!
+//! Two measurements per run:
+//!
+//! * **Budget walks** — the warm-started full-range walk (one
+//!   `sched::force::Workspace` carried across every budget, the
+//!   `Engine::explore` inner loop) against cold per-budget `power_manage`
+//!   calls, on the paper circuits and generated circuits of increasing
+//!   size.  Before timing, every case asserts that the warm walk's
+//!   schedules are identical to the cold ones *and* to the retained
+//!   `sched::naive` reference, so a measured difference can never come
+//!   from a behavioural divergence.  (The honest result: walks are
+//!   dominated by the per-mux selection analysis, so workspace reuse buys
+//!   only a few percent — the identity guarantee is the load-bearing
+//!   property.)
+//! * **Explorer parallelism** — `Engine::explore` over a batch of
+//!   generated circuits at 1 vs. N threads, with a byte-identity assert on
+//!   the JSON.  This is where full-range exploration actually scales, and
+//!   it is the headline number.
+//!
+//! ```text
+//! cargo run --release -p bench --bin bench_pareto [-- --quick] [--out PATH]
+//! ```
+//!
+//! * `--quick` — fewer repetitions and a smaller batch (CI smoke mode),
+//! * `--out PATH` — write the JSON to a file instead of stdout.
+
+use std::fmt::Write as _;
+use std::process::exit;
+use std::time::Instant;
+
+use cdfg::Cdfg;
+use engine::{BudgetCeiling, BudgetPolicy, Engine, ExploreOptions, ExploreRequest};
+use gen::{Family, GenSpec};
+use pmsched::{power_manage, power_manage_with_workspace, PowerManagementOptions};
+use power::DelayScaling;
+use sched::{force, naive};
+
+struct Case {
+    name: String,
+    kind: &'static str,
+    cdfg: Cdfg,
+    span: u32,
+}
+
+fn cases() -> Vec<Case> {
+    let mut cases = Vec::new();
+    for bench in circuits::all_benchmarks() {
+        if bench.name == "cordic" {
+            continue; // 48-step budgets would dominate the whole emitter
+        }
+        cases.push(Case { name: bench.name.clone(), kind: "paper", cdfg: bench.cdfg, span: 8 });
+    }
+    let mut specs =
+        vec![GenSpec::new(Family::MuxTree, 11, 1), GenSpec::new(Family::DspChain, 11, 1)];
+    for (width, depth) in [(6, 8), (12, 16), (16, 24)] {
+        let mut spec = GenSpec::new(Family::RandomDag, 11, 1);
+        spec.width = width;
+        spec.depth = depth;
+        specs.push(spec);
+    }
+    for spec in specs {
+        let bench = gen::generate_one(&spec, 0).expect("valid spec");
+        cases.push(Case { name: bench.name, kind: "generated", cdfg: bench.cdfg, span: 8 });
+    }
+    cases
+}
+
+/// Best-of-`reps` wall time of `f`, in seconds.
+fn time_best<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                out = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a path");
+                    exit(2);
+                }));
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (expected --quick / --out PATH)");
+                exit(2);
+            }
+        }
+    }
+    let reps = if quick { 3 } else { 15 };
+
+    let mut rows = String::new();
+    let mut largest: Option<(String, f64)> = None;
+    for case in cases() {
+        let Case { name, kind, cdfg, span } = case;
+        let cp = cdfg.critical_path_length();
+        let budgets = cp..=cp + span;
+
+        // Identity guard across all three implementations at every budget.
+        let mut ws = force::Workspace::new();
+        for budget in budgets.clone() {
+            let options = PowerManagementOptions::with_latency(budget);
+            let warm = power_manage_with_workspace(&cdfg, &options, &mut ws).expect("feasible");
+            let cold = power_manage(&cdfg, &options).expect("feasible");
+            assert_eq!(warm.schedule(), cold.schedule(), "warm/cold diverged on {name}@{budget}");
+            let reference = naive::schedule(warm.cdfg(), budget).expect("feasible");
+            assert_eq!(
+                warm.schedule(),
+                &reference,
+                "warm/naive diverged on {name}@{budget} (constrained CDFG)"
+            );
+        }
+
+        let cold_s = time_best(reps, || {
+            for budget in budgets.clone() {
+                let options = PowerManagementOptions::with_latency(budget);
+                let _ = power_manage(&cdfg, &options).expect("feasible");
+            }
+        });
+        let warm_s = time_best(reps, || {
+            let mut ws = force::Workspace::new();
+            for budget in budgets.clone() {
+                let options = PowerManagementOptions::with_latency(budget);
+                let _ = power_manage_with_workspace(&cdfg, &options, &mut ws).expect("feasible");
+            }
+        });
+        let speedup = cold_s / warm_s.max(1e-12);
+
+        if !rows.is_empty() {
+            rows.push_str(",\n");
+        }
+        write!(
+            rows,
+            "    {{\"name\": \"{name}\", \"kind\": \"{kind}\", \"nodes\": {}, \
+             \"budgets\": {}, \"cold_us\": {:.1}, \"warm_us\": {:.1}, \"speedup\": {:.2}}}",
+            cdfg.node_count(),
+            span + 1,
+            cold_s * 1e6,
+            warm_s * 1e6,
+            speedup,
+        )
+        .expect("string write");
+        // The headline case: every generated circuit is larger than the
+        // previous one, so the last generated row is the largest family.
+        if kind == "generated" {
+            largest = Some((name, speedup));
+        }
+    }
+
+    // Explorer parallelism: a batch of generated circuits, 1 vs N threads.
+    let batch_size = if quick { 8 } else { 24 };
+    let mut spec = GenSpec::new(Family::RandomDag, 11, batch_size);
+    spec.width = 8;
+    spec.depth = 10;
+    let batch = gen::generate(&spec).expect("valid spec");
+    let requests: Vec<ExploreRequest> =
+        batch.iter().map(|b| ExploreRequest::new(b.name.as_str())).collect();
+    let mut engine = Engine::new();
+    engine.register_benchmarks(batch);
+    let options = ExploreOptions::new()
+        .policy(BudgetPolicy::Pareto)
+        .ceiling(BudgetCeiling::CriticalPathPlus(8))
+        .scaling(DelayScaling::Quadratic);
+    let threads = std::thread::available_parallelism().map_or(4, usize::from).min(8);
+    let baseline = engine.explore(&requests, &options, 1);
+    assert_eq!(
+        baseline.to_json(),
+        engine.explore(&requests, &options, threads).to_json(),
+        "explorer output must be thread-count independent"
+    );
+    let serial_s = time_best(reps.min(5), || {
+        let _ = engine.explore(&requests, &options, 1);
+    });
+    let parallel_s = time_best(reps.min(5), || {
+        let _ = engine.explore(&requests, &options, threads);
+    });
+    let parallel_speedup = serial_s / parallel_s.max(1e-12);
+
+    let (largest_name, largest_speedup) = largest.expect("generated cases exist");
+    let json = format!(
+        "{{\n  \"bench\": \"pareto_walk\",\n  \"schema\": 1,\n  \"mode\": \"{}\",\n  \
+         \"reps\": {reps},\n  \"cases\": [\n{rows}\n  ],\n  \"largest_generated\": \
+         {{\"name\": \"{largest_name}\", \"speedup\": {largest_speedup:.2}}},\n  \
+         \"explorer\": {{\"circuits\": {batch_size}, \"threads\": {threads}, \
+         \"serial_ms\": {:.1}, \"parallel_ms\": {:.1}, \"speedup\": {parallel_speedup:.2}}}\n}}\n",
+        if quick { "quick" } else { "full" },
+        serial_s * 1e3,
+        parallel_s * 1e3,
+    );
+
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &json) {
+                eprintln!("cannot write {path}: {e}");
+                exit(1);
+            }
+            eprintln!(
+                "wrote {path}: explorer {parallel_speedup:.2}x on {threads} threads; \
+                 largest walk case {largest_name} at {largest_speedup:.2}x warm"
+            );
+        }
+        None => print!("{json}"),
+    }
+}

@@ -84,12 +84,34 @@ pub fn power_manage(
     cdfg: &Cdfg,
     options: &PowerManagementOptions,
 ) -> Result<PowerManagementResult, PowerManageError> {
+    let mut workspace = sched::force::Workspace::new();
+    power_manage_with_workspace(cdfg, options, &mut workspace)
+}
+
+/// Like [`power_manage`], but warm-started: every scheduling run (the
+/// baseline and the final HYPER pass) reuses the buffers of `workspace`.
+///
+/// This is the entry point for walking one circuit across a whole range of
+/// latency budgets (the Pareto explorer): adjacent budgets reuse the
+/// previous budget's ASAP/ALAP and kernel buffers, and the results are
+/// bit-identical to per-budget [`power_manage`] calls — the warm-start
+/// identity tests pin the equality against the `sched::naive` reference.
+///
+/// # Errors
+///
+/// Same conditions as [`power_manage`].
+pub fn power_manage_with_workspace(
+    cdfg: &Cdfg,
+    options: &PowerManagementOptions,
+    workspace: &mut sched::force::Workspace,
+) -> Result<PowerManagementResult, PowerManageError> {
     cdfg.validate()?;
 
     // Baseline: what a traditional scheduler does with the same constraints.
-    let baseline_schedule = hyper::schedule(
+    let baseline_schedule = hyper::schedule_with_workspace(
         cdfg,
         &HyperOptions { latency: options.latency, resources: options.resources.clone() },
+        workspace,
     )?;
 
     let mut working = cdfg.clone();
@@ -169,9 +191,10 @@ pub fn power_manage(
     // constraint is met again (the paper's "algorithm chooses a schedule only
     // if the required throughput and hardware constraints are met").
     let schedule = loop {
-        match hyper::schedule(
+        match hyper::schedule_with_workspace(
             &working,
             &HyperOptions { latency: options.latency, resources: options.resources.clone() },
+            workspace,
         ) {
             Ok(s) => break s,
             Err(err) => {
@@ -368,6 +391,28 @@ mod tests {
         let three = power_manage(&g, &PowerManagementOptions::with_latency(3)).unwrap();
         let four = power_manage(&g, &PowerManagementOptions::with_latency(4)).unwrap();
         assert!(four.savings().reduction_percent >= three.savings().reduction_percent - 1e-9);
+    }
+
+    #[test]
+    fn warm_workspace_runs_match_cold_runs_across_budgets() {
+        // One workspace reused across the whole budget range (the Pareto
+        // explorer's inner loop) must reproduce the cold per-budget results
+        // exactly: same schedules, same accepted muxes, same savings.
+        let (g, ..) = abs_diff();
+        let mut ws = sched::force::Workspace::new();
+        for latency in 2..8 {
+            let options = PowerManagementOptions::with_latency(latency);
+            let warm = power_manage_with_workspace(&g, &options, &mut ws).unwrap();
+            let cold = power_manage(&g, &options).unwrap();
+            assert_eq!(warm.schedule(), cold.schedule(), "latency {latency}");
+            assert_eq!(warm.baseline_schedule(), cold.baseline_schedule(), "latency {latency}");
+            assert_eq!(warm.accepted_muxes().len(), cold.accepted_muxes().len());
+            assert_eq!(
+                warm.savings().reduction_percent,
+                cold.savings().reduction_percent,
+                "bit-identical savings at latency {latency}"
+            );
+        }
     }
 
     #[test]

@@ -67,10 +67,10 @@ pub mod report;
 pub mod savings;
 
 pub use crate::activation::{Activation, SelectProbabilities};
-pub use crate::algorithm::{power_manage, PowerManagementOptions};
+pub use crate::algorithm::{power_manage, power_manage_with_workspace, PowerManagementOptions};
 pub use crate::cones::MuxCones;
 pub use crate::error::PowerManageError;
 pub use crate::mux_order::MuxOrder;
 pub use crate::pipeline::{pipeline_register_estimate, PipelineReport};
 pub use crate::report::{ManagedMux, PowerManagementResult};
-pub use crate::savings::{OpWeights, SavingsReport};
+pub use crate::savings::{compose_reductions, OpWeights, SavingsReport};

@@ -122,6 +122,19 @@ impl SavingsReport {
     }
 }
 
+/// Composes two independent percentage reductions multiplicatively:
+/// applying an `a`-percent reduction and then a `b`-percent reduction to
+/// what remains leaves `(1 - a/100) · (1 - b/100)` of the original, so the
+/// combined reduction is `100 · (1 - (1 - a/100)(1 - b/100))`.
+///
+/// This is how shut-down savings (fewer expected executions) compose with
+/// slowdown savings (lower energy per execution under a scaled-delay /
+/// DVS model): the two mechanisms are independent per-operation factors,
+/// so their relative reductions multiply rather than add.
+pub fn compose_reductions(a_percent: f64, b_percent: f64) -> f64 {
+    100.0 * (1.0 - (1.0 - a_percent / 100.0) * (1.0 - b_percent / 100.0))
+}
+
 impl fmt::Display for SavingsReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -163,6 +176,21 @@ mod tests {
         expected.insert(OpClass::Mux, 1.0);
         // 3 + 4 + 1 = 8; with both subs always on it would be 11.
         assert_eq!(OpWeights::paper_power().weighted_expected(&expected), 8.0);
+    }
+
+    #[test]
+    fn composed_reductions_multiply_the_remainders() {
+        // 50% then 50% leaves a quarter: 75% combined.
+        assert!((compose_reductions(50.0, 50.0) - 75.0).abs() < 1e-12);
+        // Composition with zero is the identity, in both positions.
+        assert!((compose_reductions(30.0, 0.0) - 30.0).abs() < 1e-12);
+        assert!((compose_reductions(0.0, 30.0) - 30.0).abs() < 1e-12);
+        // Commutative, and never exceeds 100% for reductions in [0, 100].
+        assert!((compose_reductions(20.0, 60.0) - compose_reductions(60.0, 20.0)).abs() < 1e-12);
+        assert!(compose_reductions(100.0, 40.0) <= 100.0);
+        // A negative "reduction" (a regression) composes symmetrically too:
+        // saving 50% then regressing 10% leaves 0.5 * 1.1 = 55% => 45%.
+        assert!((compose_reductions(50.0, -10.0) - 45.0).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,637 @@
+//! The slack-driven latency–power Pareto explorer.
+//!
+//! The paper evaluates each circuit at a handful of hand-picked control-step
+//! budgets (Table II).  This module treats latency vs. power as a
+//! first-class multi-objective search instead: for every circuit it walks
+//! the **full feasible budget range** — from the critical path up to a
+//! configurable ceiling — runs the complete power-management flow at every
+//! budget, scores each point under the scaled-delay (DVS-style) energy
+//! model of [`power::dvs`], and reports the non-dominated
+//! (budget, reduction) front.
+//!
+//! Two things make the walk cheap and exact:
+//!
+//! * **Warm-started scheduling** — adjacent budgets share one
+//!   [`sched::force::Workspace`], so the ASAP/ALAP analysis and the force
+//!   kernel reuse the previous budget's buffers.  Reuse never changes a
+//!   result: warm schedules are bit-identical to cold per-budget runs (the
+//!   identity tests pin this against `sched::naive`).
+//! * **Per-circuit independence** — circuits are explored in parallel on
+//!   the engine's [`crate::pool`], and every budget walk is sequential
+//!   inside its circuit, so the report is identical for every thread count.
+
+use std::fmt;
+use std::fmt::Write as _;
+
+use pmsched::{power_manage_with_workspace, OpWeights, PowerManagementOptions};
+use power::dvs::scaled_delay_estimate;
+use sched::force::Workspace;
+
+use crate::report::{csv_field, json_number, json_string};
+use crate::scenario::BranchModel;
+use crate::{pool, select_probabilities, Engine};
+
+pub use power::dvs::DelayScaling;
+
+/// Which latency budgets a sweep or exploration visits per circuit — the
+/// budget-policy axis.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BudgetPolicy {
+    /// Only the explicitly requested budgets (the paper's per-table lists).
+    #[default]
+    Fixed,
+    /// Every feasible budget from the circuit's critical path up to the
+    /// ceiling; all points are reported.
+    FullRange,
+    /// Same walk as [`BudgetPolicy::FullRange`], but only the non-dominated
+    /// (budget, reduction) points are kept.
+    Pareto,
+}
+
+impl BudgetPolicy {
+    /// Every policy, in canonical order.
+    pub const ALL: [BudgetPolicy; 3] =
+        [BudgetPolicy::Fixed, BudgetPolicy::FullRange, BudgetPolicy::Pareto];
+
+    /// Short stable label used in reports and CLI flags.
+    pub fn label(self) -> &'static str {
+        match self {
+            BudgetPolicy::Fixed => "fixed",
+            BudgetPolicy::FullRange => "full-range",
+            BudgetPolicy::Pareto => "pareto",
+        }
+    }
+
+    /// Parses a label produced by [`BudgetPolicy::label`].
+    pub fn parse(text: &str) -> Option<Self> {
+        BudgetPolicy::ALL.into_iter().find(|p| p.label() == text)
+    }
+}
+
+impl fmt::Display for BudgetPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Upper end of the budget range a full-range walk covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BudgetCeiling {
+    /// A fixed number of control steps (floored at the critical path).
+    Absolute(u32),
+    /// `critical path + span` control steps, so every circuit gets the same
+    /// amount of extra slack regardless of its depth.
+    CriticalPathPlus(u32),
+}
+
+impl BudgetCeiling {
+    /// Resolves the ceiling for a circuit with critical path `cp`; never
+    /// below `cp` itself.
+    pub fn resolve(self, cp: u32) -> u32 {
+        match self {
+            BudgetCeiling::Absolute(steps) => steps.max(cp),
+            BudgetCeiling::CriticalPathPlus(span) => cp.saturating_add(span),
+        }
+    }
+}
+
+impl Default for BudgetCeiling {
+    fn default() -> Self {
+        BudgetCeiling::CriticalPathPlus(8)
+    }
+}
+
+/// All knobs of one exploration run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExploreOptions {
+    /// Budget policy (default: [`BudgetPolicy::Fixed`]).
+    pub policy: BudgetPolicy,
+    /// Budget ceiling for the range policies (default: critical path + 8).
+    pub ceiling: BudgetCeiling,
+    /// Scaled-delay energy law (default: none — the paper's model).
+    pub scaling: DelayScaling,
+    /// Branch-probability model for the expected-execution estimate.
+    pub branch_model: BranchModel,
+}
+
+impl ExploreOptions {
+    /// Options with every knob at its default.
+    pub fn new() -> Self {
+        ExploreOptions::default()
+    }
+
+    /// Replaces the budget policy.
+    pub fn policy(mut self, policy: BudgetPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Replaces the budget ceiling.
+    pub fn ceiling(mut self, ceiling: BudgetCeiling) -> Self {
+        self.ceiling = ceiling;
+        self
+    }
+
+    /// Replaces the scaling law.
+    pub fn scaling(mut self, scaling: DelayScaling) -> Self {
+        self.scaling = scaling;
+        self
+    }
+
+    /// Replaces the branch-probability model.
+    pub fn branch_model(mut self, model: BranchModel) -> Self {
+        self.branch_model = model;
+        self
+    }
+}
+
+/// One circuit to explore, with the explicit budgets the
+/// [`BudgetPolicy::Fixed`] policy uses (the range policies derive their own
+/// budgets and ignore the list).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExploreRequest {
+    /// Circuit name, resolved against the engine's registry.
+    pub circuit: String,
+    /// Explicit budgets for the fixed policy.
+    pub budgets: Vec<u32>,
+}
+
+impl ExploreRequest {
+    /// A request with no explicit budgets (range policies only).
+    pub fn new(circuit: impl Into<String>) -> Self {
+        ExploreRequest { circuit: circuit.into(), budgets: Vec::new() }
+    }
+
+    /// Adds explicit budgets for the fixed policy.
+    pub fn budgets<I: IntoIterator<Item = u32>>(mut self, budgets: I) -> Self {
+        self.budgets.extend(budgets);
+        self
+    }
+}
+
+/// One explored (budget, energy) point of a circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplorePoint {
+    /// Control-step budget (the scenario's latency bound).
+    pub budget: u32,
+    /// Control steps the final schedule spans.
+    pub schedule_steps: u32,
+    /// Multiplexors gating at least one operation in the final schedule.
+    pub pm_muxes: usize,
+    /// Shut-down reduction in percent (Table II's mechanism).
+    pub shutdown_reduction: f64,
+    /// Additional slowdown reduction in percent (the scaled-delay model).
+    pub slowdown_reduction: f64,
+    /// Combined reduction in percent; the objective the front is built on.
+    pub combined_reduction: f64,
+    /// Whether the point is on the non-dominated (budget, reduction) front.
+    pub on_front: bool,
+}
+
+/// Everything one circuit's exploration produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CircuitExploration {
+    /// Circuit name.
+    pub circuit: String,
+    /// Critical-path length (the floor of the feasible budget range).
+    pub critical_path: u32,
+    /// Explored points in ascending budget order.  Under
+    /// [`BudgetPolicy::Pareto`] only front points are retained.
+    pub points: Vec<ExplorePoint>,
+    /// Budgets that failed, with their error messages.
+    pub failures: Vec<(u32, String)>,
+}
+
+impl CircuitExploration {
+    /// The non-dominated points, in ascending budget order.
+    pub fn front(&self) -> impl Iterator<Item = &ExplorePoint> {
+        self.points.iter().filter(|p| p.on_front)
+    }
+}
+
+/// The complete result of an exploration run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoReport {
+    /// The policy the run used.
+    pub policy: BudgetPolicy,
+    /// The scaling law the run used.
+    pub scaling: DelayScaling,
+    /// The branch model the run used.
+    pub branch_model: BranchModel,
+    /// Per-circuit explorations, in request order.
+    pub circuits: Vec<CircuitExploration>,
+}
+
+impl ParetoReport {
+    /// Number of failed (circuit, budget) walks across all circuits.
+    pub fn failure_count(&self) -> usize {
+        self.circuits.iter().map(|c| c.failures.len()).sum()
+    }
+
+    /// The exploration of one circuit, if it was requested.
+    pub fn circuit(&self, name: &str) -> Option<&CircuitExploration> {
+        self.circuits.iter().find(|c| c.circuit == name)
+    }
+
+    /// Renders the report as JSON (stable key order and float formatting,
+    /// byte-identical across reruns and thread counts).
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\n  \"policy\": {}, \"scaling\": {}, \"branch_model\": {},\n  \"circuits\": [",
+            json_string(self.policy.label()),
+            json_string(self.scaling.label()),
+            json_string(&self.branch_model.label()),
+        );
+        for (i, c) in self.circuits.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"circuit\": {}, \"critical_path\": {}, \"points\": [",
+                json_string(&c.circuit),
+                c.critical_path
+            );
+            for (j, p) in c.points.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "\n      {{\"budget\": {}, \"schedule_steps\": {}, \"pm_muxes\": {}, \
+                     \"shutdown_reduction\": {}, \"slowdown_reduction\": {}, \
+                     \"combined_reduction\": {}, \"on_front\": {}}}",
+                    p.budget,
+                    p.schedule_steps,
+                    p.pm_muxes,
+                    json_number(p.shutdown_reduction),
+                    json_number(p.slowdown_reduction),
+                    json_number(p.combined_reduction),
+                    p.on_front,
+                );
+            }
+            out.push_str("\n    ], \"failures\": [");
+            for (j, (budget, error)) in c.failures.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "\n      {{\"budget\": {budget}, \"error\": {}}}",
+                    json_string(error)
+                );
+            }
+            out.push_str("\n    ]}");
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Renders the explored points as CSV (header plus one line per point,
+    /// then one line per failure with the error in the last column).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "circuit,critical_path,budget,schedule_steps,pm_muxes,\
+             shutdown_reduction,slowdown_reduction,combined_reduction,on_front,error\n",
+        );
+        for c in &self.circuits {
+            for p in &c.points {
+                let _ = writeln!(
+                    out,
+                    "{},{},{},{},{},{},{},{},{},",
+                    csv_field(&c.circuit),
+                    c.critical_path,
+                    p.budget,
+                    p.schedule_steps,
+                    p.pm_muxes,
+                    json_number(p.shutdown_reduction),
+                    json_number(p.slowdown_reduction),
+                    json_number(p.combined_reduction),
+                    p.on_front,
+                );
+            }
+            for (budget, error) in &c.failures {
+                let _ = writeln!(
+                    out,
+                    "{},{},{budget},,,,,,,{}",
+                    csv_field(&c.circuit),
+                    c.critical_path,
+                    csv_field(error)
+                );
+            }
+        }
+        out
+    }
+
+    /// Renders a human-readable per-circuit table with the front marked.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "Pareto exploration — policy {}, scaling {}, branch model {}\n\n",
+            self.policy, self.scaling, self.branch_model
+        );
+        for c in &self.circuits {
+            let _ = writeln!(out, "{} (critical path {}):", c.circuit, c.critical_path);
+            let _ = writeln!(
+                out,
+                "  {:>6} {:>5} {:>5} {:>9} {:>9} {:>9}  front",
+                "Budget", "Steps", "Muxs", "Shut(%)", "Slow(%)", "Comb(%)"
+            );
+            for p in &c.points {
+                let _ = writeln!(
+                    out,
+                    "  {:>6} {:>5} {:>5} {:>9.2} {:>9.2} {:>9.2}  {}",
+                    p.budget,
+                    p.schedule_steps,
+                    p.pm_muxes,
+                    p.shutdown_reduction,
+                    p.slowdown_reduction,
+                    p.combined_reduction,
+                    if p.on_front { "*" } else { "" }
+                );
+            }
+            for (budget, error) in &c.failures {
+                let _ = writeln!(out, "  {budget:>6} error: {error}");
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Marks the non-dominated points of an ascending-budget walk.  With
+/// distinct budgets, a point is on the front exactly when its reduction is
+/// strictly greater than every cheaper point's — comparisons use
+/// [`f64::total_cmp`] so even non-finite reductions rank deterministically.
+fn mark_front(points: &mut [ExplorePoint]) {
+    let mut best: Option<f64> = None;
+    for p in points {
+        let better = match best {
+            None => true,
+            Some(b) => p.combined_reduction.total_cmp(&b).is_gt(),
+        };
+        p.on_front = better;
+        if better {
+            best = Some(p.combined_reduction);
+        }
+    }
+}
+
+impl Engine {
+    /// Explores the latency–power trade-off of every requested circuit and
+    /// returns the per-circuit points and fronts.
+    ///
+    /// Circuits run in parallel on `threads` workers (0 = one per CPU);
+    /// each circuit's budget walk is sequential and warm-started, so the
+    /// report — like the sweep report — is identical for every thread
+    /// count.  Failures (unknown circuits, degenerate estimates) are
+    /// recorded per budget, never aborting the exploration.
+    ///
+    /// Unlike [`Engine::run`], this path bypasses the prefix memo cache:
+    /// the budget walk reuses scheduling buffers instead, which is what
+    /// makes visiting *every* budget affordable.
+    pub fn explore(
+        &self,
+        requests: &[ExploreRequest],
+        options: &ExploreOptions,
+        threads: usize,
+    ) -> ParetoReport {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            threads
+        };
+        let circuits = pool::parallel_map(requests.to_vec(), threads, &|request| {
+            explore_circuit(self, &request, options)
+        });
+        ParetoReport {
+            policy: options.policy,
+            scaling: options.scaling,
+            branch_model: options.branch_model,
+            circuits,
+        }
+    }
+}
+
+/// Walks one circuit across its budget range with a warm-started
+/// scheduling workspace.
+fn explore_circuit(
+    engine: &Engine,
+    request: &ExploreRequest,
+    options: &ExploreOptions,
+) -> CircuitExploration {
+    let Some(cdfg) = engine.circuit(&request.circuit) else {
+        return CircuitExploration {
+            circuit: request.circuit.clone(),
+            critical_path: 0,
+            points: Vec::new(),
+            failures: vec![(0, format!("unknown circuit `{}`", request.circuit))],
+        };
+    };
+    let critical_path = cdfg.critical_path_length();
+    let budgets: Vec<u32> = match options.policy {
+        BudgetPolicy::Fixed => {
+            let mut budgets = request.budgets.clone();
+            budgets.sort_unstable();
+            budgets.dedup();
+            budgets
+        }
+        BudgetPolicy::FullRange | BudgetPolicy::Pareto => {
+            (critical_path..=options.ceiling.resolve(critical_path)).collect()
+        }
+    };
+
+    let weights = OpWeights::paper_power();
+    let mut workspace = Workspace::new();
+    let mut points = Vec::with_capacity(budgets.len());
+    let mut failures = Vec::new();
+    for budget in budgets {
+        let pm_options = PowerManagementOptions::with_latency(budget);
+        let result = match power_manage_with_workspace(cdfg, &pm_options, &mut workspace) {
+            Ok(result) => result,
+            Err(e) => {
+                failures.push((budget, e.to_string()));
+                continue;
+            }
+        };
+        let probs = select_probabilities(&result, options.branch_model);
+        match scaled_delay_estimate(&result, &probs, &weights, options.scaling) {
+            Ok(report) => points.push(ExplorePoint {
+                budget,
+                schedule_steps: result.schedule().num_steps(),
+                pm_muxes: result.managed_mux_count(),
+                shutdown_reduction: report.shutdown_reduction_percent,
+                slowdown_reduction: report.slowdown_reduction_percent,
+                combined_reduction: report.combined_reduction_percent,
+                on_front: false,
+            }),
+            Err(e) => failures.push((budget, e.to_string())),
+        }
+    }
+    mark_front(&mut points);
+    if options.policy == BudgetPolicy::Pareto {
+        points.retain(|p| p.on_front);
+    }
+    CircuitExploration { circuit: request.circuit.clone(), critical_path, points, failures }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_range(scaling: DelayScaling) -> ExploreOptions {
+        ExploreOptions::new()
+            .policy(BudgetPolicy::FullRange)
+            .ceiling(BudgetCeiling::CriticalPathPlus(4))
+            .scaling(scaling)
+    }
+
+    #[test]
+    fn full_range_covers_critical_path_to_ceiling() {
+        let engine = Engine::new();
+        let report = engine.explore(
+            &[ExploreRequest::new("abs_diff")],
+            &full_range(DelayScaling::Quadratic),
+            1,
+        );
+        let c = report.circuit("abs_diff").unwrap();
+        assert_eq!(c.critical_path, 2);
+        let budgets: Vec<u32> = c.points.iter().map(|p| p.budget).collect();
+        assert_eq!(budgets, vec![2, 3, 4, 5, 6]);
+        assert!(c.failures.is_empty());
+        assert_eq!(report.failure_count(), 0);
+    }
+
+    #[test]
+    fn fronts_are_strictly_improving_and_pareto_policy_keeps_only_them() {
+        let engine = Engine::new();
+        let full = engine.explore(
+            &[ExploreRequest::new("dealer")],
+            &full_range(DelayScaling::Quadratic),
+            1,
+        );
+        let pareto = engine.explore(
+            &[ExploreRequest::new("dealer")],
+            &full_range(DelayScaling::Quadratic).policy(BudgetPolicy::Pareto),
+            1,
+        );
+        let full_front: Vec<&ExplorePoint> = full.circuit("dealer").unwrap().front().collect();
+        let pareto_points = &pareto.circuit("dealer").unwrap().points;
+        assert_eq!(full_front.len(), pareto_points.len());
+        for (a, b) in full_front.iter().zip(pareto_points) {
+            assert_eq!(a.budget, b.budget);
+            assert_eq!(a.combined_reduction, b.combined_reduction);
+            assert!(b.on_front);
+        }
+        // Strictly improving along the front — the non-domination invariant.
+        for pair in pareto_points.windows(2) {
+            assert!(pair[0].budget < pair[1].budget);
+            assert!(pair[0].combined_reduction < pair[1].combined_reduction);
+        }
+    }
+
+    #[test]
+    fn fixed_policy_visits_exactly_the_requested_budgets() {
+        let engine = Engine::new();
+        let report = engine.explore(
+            &[ExploreRequest::new("gcd").budgets([7, 5, 6, 5])],
+            &ExploreOptions::new(),
+            1,
+        );
+        let c = report.circuit("gcd").unwrap();
+        let budgets: Vec<u32> = c.points.iter().map(|p| p.budget).collect();
+        assert_eq!(budgets, vec![5, 6, 7], "sorted and deduplicated");
+        // Under the default (paper) model there is no slowdown component.
+        assert!(c.points.iter().all(|p| p.slowdown_reduction == 0.0));
+        assert!(c
+            .points
+            .iter()
+            .all(|p| (p.combined_reduction - p.shutdown_reduction).abs() < 1e-9));
+    }
+
+    #[test]
+    fn infeasible_and_unknown_requests_become_failures() {
+        let engine = Engine::new();
+        let report = engine.explore(
+            &[ExploreRequest::new("nonexistent"), ExploreRequest::new("dealer").budgets([1, 6])],
+            &ExploreOptions::new(),
+            2,
+        );
+        assert_eq!(report.failure_count(), 2);
+        let unknown = report.circuit("nonexistent").unwrap();
+        assert!(unknown.failures[0].1.contains("unknown circuit"));
+        let dealer = report.circuit("dealer").unwrap();
+        assert_eq!(dealer.failures.len(), 1, "budget 1 is below dealer's critical path");
+        assert_eq!(dealer.failures[0].0, 1);
+        assert_eq!(dealer.points.len(), 1, "budget 6 still succeeds");
+    }
+
+    #[test]
+    fn reports_are_identical_across_thread_counts() {
+        let engine = Engine::new();
+        let requests: Vec<ExploreRequest> =
+            ["dealer", "gcd", "vender", "abs_diff"].map(ExploreRequest::new).to_vec();
+        let options = full_range(DelayScaling::Linear).policy(BudgetPolicy::Pareto);
+        let one = engine.explore(&requests, &options, 1);
+        let four = engine.explore(&requests, &options, 4);
+        let eight = engine.explore(&requests, &options, 8);
+        assert_eq!(one, four);
+        assert_eq!(one.to_json(), four.to_json());
+        assert_eq!(one.to_json(), eight.to_json());
+        assert_eq!(one.to_csv(), eight.to_csv());
+    }
+
+    #[test]
+    fn mark_front_ranks_with_total_cmp() {
+        let point = |budget, reduction| ExplorePoint {
+            budget,
+            schedule_steps: budget,
+            pm_muxes: 0,
+            shutdown_reduction: reduction,
+            slowdown_reduction: 0.0,
+            combined_reduction: reduction,
+            on_front: false,
+        };
+        // An exact tie is dominated (same reduction at a higher budget),
+        // and NaN ranks above every finite value under total_cmp — in both
+        // cases deterministically, which is what byte-identical reruns need.
+        let mut points = vec![point(2, 10.0), point(3, 10.0), point(4, f64::NAN), point(5, 20.0)];
+        mark_front(&mut points);
+        assert_eq!(
+            points.iter().map(|p| p.on_front).collect::<Vec<_>>(),
+            vec![true, false, true, false]
+        );
+    }
+
+    #[test]
+    fn labels_roundtrip() {
+        for policy in BudgetPolicy::ALL {
+            assert_eq!(BudgetPolicy::parse(policy.label()), Some(policy));
+        }
+        assert_eq!(BudgetPolicy::parse("adaptive"), None);
+        assert_eq!(BudgetCeiling::Absolute(3).resolve(5), 5, "never below the critical path");
+        assert_eq!(BudgetCeiling::Absolute(9).resolve(5), 9);
+        assert_eq!(BudgetCeiling::CriticalPathPlus(4).resolve(5), 9);
+    }
+
+    #[test]
+    fn json_and_csv_are_stable_and_complete() {
+        let engine = Engine::new();
+        let report = engine.explore(
+            &[ExploreRequest::new("abs_diff"), ExploreRequest::new("nope")],
+            &full_range(DelayScaling::Quadratic),
+            2,
+        );
+        let json = report.to_json();
+        assert_eq!(json, report.to_json(), "emission is deterministic");
+        assert!(json.contains("\"policy\": \"full-range\""));
+        assert!(json.contains("\"scaling\": \"quadratic\""));
+        assert!(json.contains("\"on_front\": true"));
+        assert!(json.contains("unknown circuit"));
+        let csv = report.to_csv();
+        assert!(csv.lines().next().unwrap().starts_with("circuit,critical_path,budget"));
+        assert_eq!(csv.lines().count(), 1 + 5 + 1, "header + 5 points + 1 failure row");
+        let text = report.render();
+        assert!(text.contains("abs_diff (critical path 2):"));
+        assert!(text.contains("Comb(%)"));
+    }
+}

@@ -8,6 +8,7 @@
 use std::collections::BTreeSet;
 
 use crate::error::EngineError;
+use crate::pareto::BudgetPolicy;
 use crate::scenario::{BranchModel, Scenario, SchedulerKind};
 
 /// Request for Table III style gate-level metrics on every scenario.
@@ -25,6 +26,7 @@ pub struct GateLevelSpec {
 pub struct SweepPlan {
     scenarios: Vec<Scenario>,
     gate_level: Option<GateLevelSpec>,
+    budget_policy: BudgetPolicy,
 }
 
 impl SweepPlan {
@@ -52,6 +54,11 @@ impl SweepPlan {
     pub fn gate_level(&self) -> Option<GateLevelSpec> {
         self.gate_level
     }
+
+    /// The budget policy the engine expands this plan under.
+    pub fn budget_policy(&self) -> BudgetPolicy {
+        self.budget_policy
+    }
 }
 
 /// Builder for [`SweepPlan`].
@@ -71,6 +78,7 @@ pub struct SweepPlanBuilder {
     reorder: Vec<bool>,
     models: Vec<BranchModel>,
     gate_level: Option<GateLevelSpec>,
+    budget_policy: BudgetPolicy,
 }
 
 impl SweepPlanBuilder {
@@ -123,6 +131,16 @@ impl SweepPlanBuilder {
     /// Requests gate-level (Table III style) metrics for every scenario.
     pub fn gate_level(mut self, samples: usize, seed: u64) -> Self {
         self.gate_level = Some(GateLevelSpec { samples, seed });
+        self
+    }
+
+    /// Sets the budget policy (default: [`BudgetPolicy::Fixed`]).  Under
+    /// the range policies the engine treats every scenario's latency bound
+    /// as the *ceiling* of a walk starting at the circuit's critical path;
+    /// [`BudgetPolicy::Pareto`] additionally reduces the report to each
+    /// circuit's non-dominated records (failures are always kept).
+    pub fn budget_policy(mut self, policy: BudgetPolicy) -> Self {
+        self.budget_policy = policy;
         self
     }
 
@@ -179,7 +197,11 @@ impl SweepPlanBuilder {
             }
         }
 
-        Ok(SweepPlan { scenarios: expanded.into_iter().collect(), gate_level: self.gate_level })
+        Ok(SweepPlan {
+            scenarios: expanded.into_iter().collect(),
+            gate_level: self.gate_level,
+            budget_policy: self.budget_policy,
+        })
     }
 }
 
@@ -237,5 +259,17 @@ mod tests {
         let plan = SweepPlan::builder().case("dealer", 4).gate_level(100, 7).build().unwrap();
         assert_eq!(plan.gate_level(), Some(GateLevelSpec { samples: 100, seed: 7 }));
         assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn budget_policy_defaults_to_fixed_and_is_carried() {
+        let plan = SweepPlan::builder().case("dealer", 6).build().unwrap();
+        assert_eq!(plan.budget_policy(), BudgetPolicy::Fixed);
+        let plan = SweepPlan::builder()
+            .case("dealer", 6)
+            .budget_policy(BudgetPolicy::FullRange)
+            .build()
+            .unwrap();
+        assert_eq!(plan.budget_policy(), BudgetPolicy::FullRange);
     }
 }

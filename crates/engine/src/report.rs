@@ -164,6 +164,20 @@ impl SweepReport {
         self.records.iter().filter(|r| r.error().is_some()).count()
     }
 
+    /// Reduces the report to each circuit's Pareto-optimal records —
+    /// [`crate::pareto::BudgetPolicy::Pareto`]'s report shape.  Failed
+    /// records are always kept (a pruned failure would hide an infeasible
+    /// matrix point), and the summaries and fronts are rebuilt from the
+    /// retained records.
+    pub fn retain_pareto_front(self) -> SweepReport {
+        let SweepReport { records, pareto, .. } = self;
+        let records = records
+            .into_iter()
+            .filter(|r| r.error().is_some() || pareto.iter().any(|p| p.scenario == r.scenario))
+            .collect();
+        SweepReport::from_records(records)
+    }
+
     /// Renders the report as JSON (hand-rolled; the workspace vendors no
     /// serialisation crates).  Key order and float formatting are stable,
     /// so equal reports produce byte-identical JSON.
@@ -392,17 +406,24 @@ fn summarize(
 /// one achieves at least its power reduction at no more control steps (with
 /// at least one strict improvement).  Exact ties keep only the first point
 /// in plan order.
+///
+/// Reductions are ranked with [`f64::total_cmp`], like every other place
+/// the report orders them: plain `>`/`==` comparisons would let a NaN
+/// reduction (e.g. from a degenerate gate-level baseline before that became
+/// a typed error) be incomparable to everything — never dominated, never a
+/// tie — and quietly pollute the front.  Under `total_cmp` even non-finite
+/// values rank deterministically.
 fn pareto_front(circuit: &str, successes: &[(&Scenario, &ScenarioMetrics)]) -> Vec<ParetoPoint> {
     let mut front = Vec::new();
     for (i, (scenario, metrics)) in successes.iter().enumerate() {
         let dominated = successes.iter().enumerate().any(|(j, (_, other))| {
-            let strictly_better = other.effective_latency < metrics.effective_latency
-                || other.power_reduction > metrics.power_reduction;
-            let no_worse = other.effective_latency <= metrics.effective_latency
-                && other.power_reduction >= metrics.power_reduction;
-            let earlier_tie = j < i
-                && other.effective_latency == metrics.effective_latency
-                && other.power_reduction == metrics.power_reduction;
+            let reduction = other.power_reduction.total_cmp(&metrics.power_reduction);
+            let strictly_better =
+                other.effective_latency < metrics.effective_latency || reduction.is_gt();
+            let no_worse =
+                other.effective_latency <= metrics.effective_latency && reduction.is_ge();
+            let earlier_tie =
+                j < i && other.effective_latency == metrics.effective_latency && reduction.is_eq();
             (no_worse && strictly_better) || earlier_tie
         });
         if !dominated {
@@ -514,7 +535,8 @@ pub fn json_number(x: f64) -> String {
     }
 }
 
-fn csv_field(s: &str) -> String {
+/// Escapes and quotes a string for CSV output when needed.
+pub(crate) fn csv_field(s: &str) -> String {
     if s.contains(',') || s.contains('"') || s.contains('\n') {
         format!("\"{}\"", s.replace('"', "\"\""))
     } else {
@@ -587,6 +609,64 @@ mod tests {
     fn pareto_keeps_one_of_exact_ties() {
         let report = SweepReport::from_records(vec![record("a", 3, 10.0), record("a", 3, 10.0)]);
         assert_eq!(report.pareto.len(), 1);
+    }
+
+    #[test]
+    fn pareto_ranks_non_finite_reductions_with_total_cmp() {
+        // A NaN reduction used to be incomparable under `>` / `==`: never
+        // dominated, never a tie, so it always leaked onto the front — and
+        // two NaN points both did.  Under total_cmp NaN ranks above +inf,
+        // deterministically: here it dominates the finite point at the same
+        // latency, and the duplicate NaN is dropped as an exact tie.
+        let report = SweepReport::from_records(vec![
+            record("a", 3, f64::NAN),
+            record("a", 3, 25.0),
+            record("a", 4, f64::NAN),
+        ]);
+        assert_eq!(report.pareto.len(), 1);
+        assert_eq!(report.pareto[0].effective_latency, 3);
+        assert!(report.pareto[0].power_reduction.is_nan());
+        // Byte-identical across re-emissions, NaN and all.
+        assert_eq!(report.to_json(), report.to_json());
+    }
+
+    #[test]
+    fn even_and_odd_medians_and_ranking_are_total_cmp_ordered() {
+        // Negative zero sorts below positive zero under total_cmp; the
+        // even-length median averages the middle pair either way.
+        let report = SweepReport::from_records(vec![
+            record("a", 3, 0.0),
+            record("a", 4, -0.0),
+            record("a", 5, 10.0),
+            record("a", 6, 20.0),
+        ]);
+        assert_eq!(report.summaries[0].median_reduction, 5.0);
+        assert_eq!(report.summaries[0].min_reduction, -0.0);
+        assert_eq!(report.summaries[0].max_reduction, 20.0);
+        assert_eq!(report.summaries[0].best.latency, 6);
+    }
+
+    #[test]
+    fn retain_pareto_front_keeps_front_and_failures_only() {
+        let mut records = vec![
+            record("a", 3, 10.0),
+            record("a", 4, 30.0),
+            record("a", 5, 20.0), // dominated by (4, 30)
+        ];
+        records.push(SweepRecord {
+            scenario: Scenario::new("a", 1),
+            outcome: Err("latency too small".to_owned()),
+        });
+        let report = SweepReport::from_records(records).retain_pareto_front();
+        let latencies: Vec<u32> = report
+            .records
+            .iter()
+            .filter_map(|r| r.metrics())
+            .map(|m| m.effective_latency)
+            .collect();
+        assert_eq!(latencies, vec![3, 4], "dominated point pruned");
+        assert_eq!(report.failure_count(), 1, "failures are never hidden");
+        assert_eq!(report.pareto.len(), 2, "front rebuilt from retained records");
     }
 
     #[test]

@@ -1,0 +1,116 @@
+//! Property tests for the Pareto explorer: across every generated circuit
+//! family, each emitted front must be actually non-dominated, identical
+//! across thread counts, and monotone — savings never decrease as the
+//! budget grows along the front, the paper's Table II invariant.
+
+use engine::{
+    BudgetCeiling, BudgetPolicy, DelayScaling, Engine, ExploreOptions, ExploreRequest, ParetoReport,
+};
+use gen::{Family, GenSpec};
+use proptest::prelude::*;
+
+/// A small-but-varied spec for one circuit of the given family.
+fn spec_for(family: Family, seed: u64, scale: u32) -> GenSpec {
+    let mut spec = GenSpec::new(family, seed, 1);
+    match family {
+        Family::RandomDag => {
+            spec.width = 3 + scale;
+            spec.depth = 4 + 2 * scale;
+            spec.mux_permille = 300;
+        }
+        Family::MuxTree => spec.depth = 2 + scale % 4,
+        Family::DspChain => spec.taps = 3 + 2 * scale,
+        Family::Cordic => spec.iters = 2 + scale,
+    }
+    spec
+}
+
+fn family_strategy() -> impl Strategy<Value = Family> {
+    prop_oneof![
+        Just(Family::RandomDag),
+        Just(Family::MuxTree),
+        Just(Family::DspChain),
+        Just(Family::Cordic),
+    ]
+}
+
+fn explore(engine: &Engine, name: &str, policy: BudgetPolicy, threads: usize) -> ParetoReport {
+    let options = ExploreOptions::new()
+        .policy(policy)
+        .ceiling(BudgetCeiling::CriticalPathPlus(3))
+        .scaling(DelayScaling::Quadratic);
+    engine.explore(&[ExploreRequest::new(name)], &options, threads)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(14))]
+
+    #[test]
+    fn fronts_are_non_dominated_deterministic_and_monotone(
+        family in family_strategy(),
+        seed in 0u64..1000,
+        scale in 1u32..4,
+    ) {
+        let spec = spec_for(family, seed, scale);
+        let bench = gen::generate_one(&spec, 0).expect("generator produces valid circuits");
+        let mut engine = Engine::new();
+        let name = bench.name.clone();
+        engine.register_benchmarks([bench]);
+
+        // Determinism: byte-identical JSON at 1, 4 and 8 threads.
+        let one = explore(&engine, &name, BudgetPolicy::Pareto, 1);
+        let four = explore(&engine, &name, BudgetPolicy::Pareto, 4);
+        let eight = explore(&engine, &name, BudgetPolicy::Pareto, 8);
+        prop_assert_eq!(one.to_json(), four.to_json(), "{} at 4 threads", name);
+        prop_assert_eq!(one.to_json(), eight.to_json(), "{} at 8 threads", name);
+
+        let circuit = one.circuit(&name).expect("explored");
+        prop_assert!(circuit.failures.is_empty(), "{}: {:?}", name, circuit.failures);
+        prop_assert!(!circuit.points.is_empty(), "{}", name);
+        // The cheapest feasible budget can never be dominated, so the
+        // front always starts at the critical path.
+        prop_assert_eq!(circuit.points[0].budget, circuit.critical_path);
+
+        // Monotone (Table II invariant) and strictly improving: along the
+        // front, a bigger budget always buys strictly more savings.
+        for pair in circuit.points.windows(2) {
+            prop_assert!(pair[0].budget < pair[1].budget, "{}", name);
+            prop_assert!(
+                pair[0].combined_reduction < pair[1].combined_reduction,
+                "{}: front not monotone ({} @ {} vs {} @ {})",
+                name, pair[0].combined_reduction, pair[0].budget,
+                pair[1].combined_reduction, pair[1].budget
+            );
+        }
+        // Actually non-dominated, checked pairwise from the definition.
+        for (i, a) in circuit.points.iter().enumerate() {
+            for b in circuit.points.iter().skip(i + 1) {
+                let b_dominates_a = b.budget <= a.budget
+                    && b.combined_reduction >= a.combined_reduction;
+                let a_dominates_b = a.budget <= b.budget
+                    && a.combined_reduction >= b.combined_reduction;
+                prop_assert!(!b_dominates_a && !a_dominates_b, "{}", name);
+            }
+        }
+
+        // The Pareto policy's points are exactly the full-range walk's
+        // front — pruning, not recomputing.
+        let full = explore(&engine, &name, BudgetPolicy::FullRange, 1);
+        let full_circuit = full.circuit(&name).expect("explored");
+        let front: Vec<_> = full_circuit.front().collect();
+        prop_assert_eq!(front.len(), circuit.points.len(), "{}", name);
+        for (a, b) in front.iter().zip(&circuit.points) {
+            prop_assert_eq!(a.budget, b.budget);
+            prop_assert_eq!(a.combined_reduction, b.combined_reduction);
+        }
+        // And every full-range point is weakly dominated by some front
+        // point (the front really is the maximum set).
+        for p in &full_circuit.points {
+            prop_assert!(
+                circuit.points.iter().any(|f| f.budget <= p.budget
+                    && f.combined_reduction.total_cmp(&p.combined_reduction).is_ge()),
+                "{}: point @ {} not covered by the front", name, p.budget
+            );
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Walks every circuit across its full feasible control-step budget range
+//! and emits the non-dominated latency–power front under the scaled-delay
+//! (DVS-style) energy model — the continuous version of Table II.
+//!
+//! ```text
+//! cargo run --release -p experiments --bin pareto [-- --json|--csv]
+//!     [--threads N] [--small] [--span N]
+//!     [--policy fixed|full-range|pareto] [--scaling none|linear|quadratic]
+//!     [--gen family=<name>,seed=<s>,count=<n>[,knob=v...]]...
+//! ```
+//!
+//! * `--json` / `--csv` — machine-readable output instead of the pretty
+//!   report (byte-identical across reruns and thread counts),
+//! * `--threads N` — worker threads (default: one per CPU),
+//! * `--small` — CI smoke configuration (no cordic, span 4),
+//! * `--span N` — walk each circuit to `critical path + N` steps
+//!   (default 8; 4 with `--small`),
+//! * `--policy` — budget policy (default `pareto`: only front points;
+//!   `full-range` keeps every point, `fixed` visits the paper budgets),
+//! * `--scaling` — scaled-delay energy law (default `quadratic`),
+//! * `--gen SPEC` (repeatable) — explore generated circuits instead of the
+//!   paper's four.
+
+use std::process::exit;
+
+use engine::BudgetPolicy;
+use gen::GenSpec;
+use power::DelayScaling;
+
+enum Format {
+    Pretty,
+    Json,
+    Csv,
+}
+
+fn main() {
+    let mut format = Format::Pretty;
+    let mut threads = 0usize;
+    let mut small = false;
+    let mut span: Option<u32> = None;
+    let mut policy = BudgetPolicy::Pareto;
+    let mut scaling = DelayScaling::Quadratic;
+    let mut specs: Vec<GenSpec> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => format = Format::Json,
+            "--csv" => format = Format::Csv,
+            "--small" => small = true,
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--threads needs a positive integer"));
+            }
+            "--span" => {
+                span = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--span needs a non-negative integer")),
+                );
+            }
+            "--policy" => {
+                let text = args.next().unwrap_or_else(|| usage("--policy needs a value"));
+                policy = BudgetPolicy::parse(&text)
+                    .unwrap_or_else(|| usage(&format!("unknown policy `{text}`")));
+            }
+            "--scaling" => {
+                let text = args.next().unwrap_or_else(|| usage("--scaling needs a value"));
+                scaling = DelayScaling::parse(&text)
+                    .unwrap_or_else(|| usage(&format!("unknown scaling `{text}`")));
+            }
+            "--gen" => {
+                let text = args.next().unwrap_or_else(|| usage("--gen needs a spec"));
+                match GenSpec::parse(&text) {
+                    Ok(spec) => specs.push(spec),
+                    Err(e) => usage(&e.to_string()),
+                }
+            }
+            other => usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let span = span.unwrap_or(if small { 4 } else { 8 });
+    let options = experiments::pareto::default_options(span).policy(policy).scaling(scaling);
+    let outcome = if specs.is_empty() {
+        experiments::pareto::explore_paper(small, &options, threads)
+    } else {
+        if small {
+            usage("--small only applies to the paper circuits; size generated runs with count=");
+        }
+        experiments::pareto::explore_generated(&specs, &options, threads)
+    };
+    let report = match outcome {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("pareto exploration failed: {e}");
+            exit(1);
+        }
+    };
+
+    match format {
+        Format::Json => print!("{}", report.to_json()),
+        Format::Csv => print!("{}", report.to_csv()),
+        Format::Pretty => print!("{}", report.render()),
+    }
+    if report.failure_count() > 0 {
+        exit(1);
+    }
+}
+
+fn usage(problem: &str) -> ! {
+    eprintln!("pareto: {problem}");
+    eprintln!(
+        "usage: pareto [--json|--csv] [--threads N] [--small] [--span N] \
+         [--policy fixed|full-range|pareto] [--scaling none|linear|quadratic] \
+         [--gen family=<name>,seed=<s>,count=<n>]..."
+    );
+    exit(2);
+}

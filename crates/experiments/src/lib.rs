@@ -16,6 +16,7 @@
 //! | Branch-probability sensitivity (Section V's fairness assumption) | [`sensitivity`] | `--bin sensitivity` |
 //! | Full scenario matrix (all of the above dimensions at once) | [`sweep`] | `--bin sweep` |
 //! | Generated-workload distributions (beyond the paper) | [`genweep`] | `--bin genweep` |
+//! | Latency–power Pareto fronts over the full budget range (beyond the paper) | [`pareto`] | `--bin pareto` |
 //!
 //! The `table1`, `table2`, `table3` and `sensitivity` binaries accept a
 //! `--json` flag that emits the engine's machine-readable report instead of
@@ -37,6 +38,7 @@ use engine::{EngineError, Scenario, ScenarioMetrics, SweepRecord, SweepReport};
 pub mod ablation;
 pub mod figures;
 pub mod genweep;
+pub mod pareto;
 pub mod sensitivity;
 pub mod sweep;
 pub mod table1;

@@ -1,0 +1,119 @@
+//! The Pareto exploration study behind `cargo run -p experiments --bin
+//! pareto`.
+//!
+//! Where [`crate::sweep`] samples the paper's hand-picked budget lists,
+//! this module turns the repro into a continuous design-space explorer: it
+//! walks every circuit (the paper's four, or generated workloads) across
+//! its full feasible budget range on the engine's warm-started
+//! [`engine::Engine::explore`] path and reports the latency–power fronts
+//! under the scaled-delay (DVS-style) energy model.
+
+use circuits::all_benchmarks;
+use engine::{BudgetCeiling, BudgetPolicy, Engine, ExploreOptions, ExploreRequest, ParetoReport};
+use gen::GenSpec;
+use power::DelayScaling;
+
+use crate::ExperimentError;
+
+/// One exploration request per paper circuit, seeded with its Table II
+/// budgets (the [`BudgetPolicy::Fixed`] fallback).  With `small` set, the
+/// heavyweight `cordic` circuit is dropped — the CI smoke configuration.
+pub fn paper_requests(small: bool) -> Vec<ExploreRequest> {
+    let mut requests = vec![ExploreRequest::new("abs_diff").budgets([2, 3])];
+    for bench in all_benchmarks() {
+        if small && bench.name == "cordic" {
+            continue;
+        }
+        requests
+            .push(ExploreRequest::new(bench.name.as_str()).budgets(bench.control_steps.clone()));
+    }
+    requests
+}
+
+/// The study's default knobs: a Pareto walk to `critical path + span` under
+/// the quadratic (voltage-square-law) scaling.
+pub fn default_options(span: u32) -> ExploreOptions {
+    ExploreOptions::new()
+        .policy(BudgetPolicy::Pareto)
+        .ceiling(BudgetCeiling::CriticalPathPlus(span))
+        .scaling(DelayScaling::Quadratic)
+}
+
+/// Explores the paper circuits.
+///
+/// # Errors
+///
+/// Kept fallible for symmetry with the other studies; the paper circuits
+/// themselves never fail to build.
+pub fn explore_paper(
+    small: bool,
+    options: &ExploreOptions,
+    threads: usize,
+) -> Result<ParetoReport, ExperimentError> {
+    let engine = Engine::new();
+    Ok(engine.explore(&paper_requests(small), options, threads))
+}
+
+/// Explores generated workloads: every circuit of every spec, each walked
+/// across its own budget range.
+///
+/// # Errors
+///
+/// Propagates generator knob violations.
+pub fn explore_generated(
+    specs: &[GenSpec],
+    options: &ExploreOptions,
+    threads: usize,
+) -> Result<ParetoReport, ExperimentError> {
+    let mut engine = Engine::new();
+    let mut requests = Vec::new();
+    for spec in specs {
+        let batch = gen::generate(spec)?;
+        for bench in &batch {
+            requests.push(
+                ExploreRequest::new(bench.name.as_str()).budgets(bench.control_steps.clone()),
+            );
+        }
+        engine.register_benchmarks(batch);
+    }
+    Ok(engine.explore(&requests, options, threads))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gen::Family;
+
+    #[test]
+    fn paper_requests_cover_the_table_circuits() {
+        let full = paper_requests(false);
+        let names: Vec<&str> = full.iter().map(|r| r.circuit.as_str()).collect();
+        assert_eq!(names, vec!["abs_diff", "dealer", "gcd", "vender", "cordic"]);
+        let small = paper_requests(true);
+        assert!(small.iter().all(|r| r.circuit != "cordic"));
+        assert!(small.iter().all(|r| !r.budgets.is_empty()));
+    }
+
+    #[test]
+    fn paper_exploration_produces_monotone_fronts_without_failures() {
+        let report = explore_paper(true, &default_options(4), 2).unwrap();
+        assert_eq!(report.failure_count(), 0);
+        for circuit in &report.circuits {
+            assert!(!circuit.points.is_empty(), "{}", circuit.circuit);
+            assert_eq!(circuit.points[0].budget, circuit.critical_path);
+            for pair in circuit.points.windows(2) {
+                assert!(pair[0].combined_reduction < pair[1].combined_reduction);
+            }
+        }
+    }
+
+    #[test]
+    fn generated_exploration_is_deterministic_across_threads() {
+        let specs = vec![GenSpec::new(Family::MuxTree, 5, 2)];
+        let options = default_options(3);
+        let a = explore_generated(&specs, &options, 1).unwrap();
+        let b = explore_generated(&specs, &options, 4).unwrap();
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(a.failure_count(), 0);
+    }
+}

@@ -112,3 +112,55 @@ fn latency_sweep_identity_per_family() {
         }
     }
 }
+
+/// The Pareto explorer's warm-started full-range walk: one reused
+/// workspace across the whole budget range of a circuit must produce
+/// schedules bit-identical to cold per-budget runs of the naive reference,
+/// on every family.
+#[test]
+fn warm_started_full_range_walks_match_cold_naive_runs() {
+    for family in Family::ALL {
+        let spec = spec_for(family, 20260729, 3);
+        let bench = gen::generate_one(&spec, 0).expect("valid circuit");
+        let cp = bench.cdfg.critical_path_length().max(1);
+        let mut ws = force::Workspace::new();
+        for latency in cp..=cp + 6 {
+            let warm =
+                force::schedule_with_workspace(&bench.cdfg, latency, &mut ws).expect("feasible");
+            let cold = naive::schedule(&bench.cdfg, latency).expect("feasible");
+            assert_eq!(warm, cold, "{} warm walk diverged at latency {latency}", bench.name);
+        }
+        // Reusing the workspace for a *different* circuit (here: the next
+        // family's, and re-running the first latency after a whole walk)
+        // must not leak state between runs either.
+        let warm = force::schedule_with_workspace(&bench.cdfg, cp, &mut ws).expect("feasible");
+        assert_eq!(warm, naive::schedule(&bench.cdfg, cp).expect("feasible"), "{}", bench.name);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Randomised version of the warm-walk identity across families, seeds
+    /// and sizes — the acceptance gate for warm-start reuse.
+    #[test]
+    fn warm_walks_equal_naive_on_random_circuits(
+        family in family_strategy(),
+        seed in 0u64..1000,
+        size in 0u8..9,
+    ) {
+        let spec = spec_for(family, seed, size);
+        let bench = gen::generate_one(&spec, 0).expect("generator produces valid circuits");
+        let cp = bench.cdfg.critical_path_length().max(1);
+        let mut ws = force::Workspace::new();
+        for latency in cp..=cp + 3 {
+            let warm = force::schedule_with_workspace(&bench.cdfg, latency, &mut ws)
+                .expect("feasible latency");
+            let cold = naive::schedule(&bench.cdfg, latency).expect("feasible latency");
+            prop_assert_eq!(
+                &warm, &cold,
+                "{} warm walk diverged at latency {}", bench.name, latency
+            );
+        }
+    }
+}

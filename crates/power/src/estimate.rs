@@ -72,7 +72,7 @@ impl GateLevelOptions {
     }
 }
 
-/// Errors produced by the gate-level comparison flow.
+/// Errors produced by the power-estimation flows.
 #[derive(Debug)]
 #[non_exhaustive]
 pub enum EstimateError {
@@ -83,6 +83,21 @@ pub enum EstimateError {
     Simulation(SimError),
     /// Datapath construction failed.
     Binding(binding::BindError),
+    /// The comparison baseline is degenerate — zero samples requested, or
+    /// zero baseline power/area — so every "reduction" ratio would divide
+    /// by zero.  Surfaced as a typed error instead of the NaN/∞ (or a
+    /// silent 0%) the ratios used to produce.
+    DegenerateBaseline {
+        /// What exactly is degenerate about the baseline.
+        reason: String,
+    },
+}
+
+impl EstimateError {
+    /// Builds the degenerate-baseline error.
+    pub(crate) fn degenerate(reason: impl Into<String>) -> Self {
+        EstimateError::DegenerateBaseline { reason: reason.into() }
+    }
 }
 
 impl fmt::Display for EstimateError {
@@ -91,6 +106,9 @@ impl fmt::Display for EstimateError {
             EstimateError::PowerManage(e) => write!(f, "power management failed: {e}"),
             EstimateError::Simulation(e) => write!(f, "rtl simulation failed: {e}"),
             EstimateError::Binding(e) => write!(f, "binding failed: {e}"),
+            EstimateError::DegenerateBaseline { reason } => {
+                write!(f, "degenerate baseline: {reason}")
+            }
         }
     }
 }
@@ -181,12 +199,20 @@ pub fn gate_level_comparison(
 ///
 /// # Errors
 ///
-/// Returns an [`EstimateError`] if binding or simulation fails.
+/// Returns an [`EstimateError`] if binding or simulation fails, or
+/// [`EstimateError::DegenerateBaseline`] when `options.samples` is zero or
+/// the baseline design simulates to zero power — both would otherwise turn
+/// the reduction and area ratios into NaN/∞ or a silent fake 0%.
 pub fn gate_level_with_result(
     cdfg: &Cdfg,
     result: &PowerManagementResult,
     options: &GateLevelOptions,
 ) -> Result<GateLevelReport, EstimateError> {
+    if options.samples == 0 {
+        return Err(EstimateError::degenerate(
+            "zero samples requested: no activity to compare against",
+        ));
+    }
     // Managed design.
     let managed_controller = Controller::generate(result);
     let managed_datapath = Datapath::build(result.cdfg(), result.schedule())?;
@@ -215,23 +241,31 @@ pub fn gate_level_with_result(
     let original_power = simulated_energy(&baseline_sim, &weights, cdfg.default_bitwidth())
         + controller_energy(&baseline_controller, options.samples);
 
-    let power_reduction_percent = if original_power > 0.0 {
-        100.0 * (original_power - managed_power) / original_power
-    } else {
-        0.0
-    };
+    // The explicit NaN checks matter: a plain `x <= 0` would wave NaN through
+    // into every downstream ratio.
+    if !original_power.is_finite() || original_power <= 0.0 {
+        return Err(EstimateError::degenerate(format!(
+            "baseline simulates to non-positive power ({original_power}); \
+             a zero-activity design has no savings ratio"
+        )));
+    }
     let original_area = baseline_gates.total();
     let managed_area = managed_gates.total();
+    if !original_area.is_finite() || original_area <= 0.0 {
+        return Err(EstimateError::degenerate(format!(
+            "baseline expands to non-positive gate area ({original_area})"
+        )));
+    }
 
     Ok(GateLevelReport {
         name: cdfg.name().to_owned(),
         latency: options.latency,
         original_area,
         managed_area,
-        area_ratio: if original_area > 0.0 { managed_area / original_area } else { 1.0 },
+        area_ratio: managed_area / original_area,
         original_power,
         managed_power,
-        power_reduction_percent,
+        power_reduction_percent: 100.0 * (original_power - managed_power) / original_power,
         samples: options.samples,
     })
 }
@@ -325,6 +359,36 @@ mod tests {
         assert_eq!(opts.latency, 4);
         assert_eq!(opts.samples, 10);
         assert_eq!(opts.seed, 1);
+    }
+
+    #[test]
+    fn zero_samples_is_a_typed_degenerate_baseline_error() {
+        // Before PR 5 a zero-sample run divided 0/0 into the reduction
+        // ratio (or silently reported 0%); it must be a typed error now.
+        let g = abs_diff();
+        let err = gate_level_comparison(&g, &GateLevelOptions::new(3).samples(0)).unwrap_err();
+        assert!(matches!(err, EstimateError::DegenerateBaseline { .. }), "{err}");
+        assert!(err.to_string().contains("degenerate baseline"), "{err}");
+        assert!(err.to_string().contains("zero samples"), "{err}");
+    }
+
+    #[test]
+    fn one_sample_is_still_a_valid_baseline() {
+        // The boundary right above the degenerate case: a single sample
+        // simulates fine (the controller energy alone keeps the baseline
+        // positive) and all ratios are finite.
+        let g = abs_diff();
+        let report = gate_level_comparison(&g, &GateLevelOptions::new(3).samples(1)).unwrap();
+        assert_eq!(report.samples, 1);
+        assert!(report.original_power > 0.0);
+        assert!(report.power_reduction_percent.is_finite());
+        assert!(report.area_ratio.is_finite() && report.area_ratio > 0.0);
+    }
+
+    #[test]
+    fn estimate_error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EstimateError>();
     }
 
     #[test]

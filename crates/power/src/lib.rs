@@ -10,7 +10,11 @@
 //!   executed on random input vectors with the cycle-accurate simulator of
 //!   the `rtl` crate, switching activity is converted to energy, and the
 //!   gate-level area is reported for both the original and the
-//!   power-managed design ([`estimate::gate_level_comparison`]).
+//!   power-managed design ([`estimate::gate_level_comparison`]),
+//! * the *scaled-delay* (DVS-style) estimate — per-operation schedule slack
+//!   converted into an energy factor that composes with the shut-down
+//!   savings ([`dvs::scaled_delay_estimate`]), the model behind the
+//!   latency–power Pareto explorer.
 //!
 //! # Example
 //!
@@ -37,10 +41,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dvs;
 pub mod estimate;
 pub mod vectors;
 
+pub use crate::dvs::{allotted_delays, scaled_delay_estimate, DelayScaling, ScaledDelayReport};
+/// Alias for the crate's error type under the name downstream code (and the
+/// issue tracker) uses for it.
+pub use crate::estimate::EstimateError as PowerError;
 pub use crate::estimate::{
-    gate_level_comparison, gate_level_with_result, GateLevelOptions, GateLevelReport,
+    gate_level_comparison, gate_level_with_result, EstimateError, GateLevelOptions, GateLevelReport,
 };
 pub use crate::vectors::RandomVectors;

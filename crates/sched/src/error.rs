@@ -59,9 +59,11 @@ pub enum ScheduleError {
         /// Number of control steps actually used.
         used: u32,
     },
-    /// Frame propagation during force-directed scheduling drove a node's
-    /// earliest feasible step past its latest one.  Unreachable when the
-    /// initial timing analysis is feasible (fixing a node inside a
+    /// A scheduling pass found a node whose earliest feasible step lies
+    /// past its latest one: frame propagation during force-directed
+    /// scheduling collapsed a time frame, or list scheduling was handed a
+    /// priority latency whose ALAP analysis is infeasible.  Unreachable
+    /// when the initial timing analysis is feasible (fixing a node inside a
     /// consistent frame preserves consistency); surfacing it instead of
     /// clamping keeps a scheduler bug from silently producing an invalid
     /// schedule.

@@ -84,38 +84,21 @@ impl Frame {
     }
 }
 
-/// Schedules `cdfg` within `latency` control steps, minimising the peak
-/// number of simultaneously busy execution units per class.
+/// Reusable buffers for force-directed scheduling runs — the warm-start
+/// entry point the full-range Pareto explorer drives.
 ///
-/// # Errors
-///
-/// Returns [`ScheduleError::LatencyTooSmall`] if the latency is below the
-/// critical path (taking control edges into account).
-pub fn schedule(cdfg: &Cdfg, latency: u32) -> Result<Schedule, ScheduleError> {
-    let timing = Timing::compute(cdfg, latency);
-    if !timing.is_feasible() {
-        return Err(ScheduleError::LatencyTooSmall {
-            requested: latency,
-            critical_path: timing.min_latency(),
-        });
-    }
-    schedule_with_timing(cdfg, &timing)
-}
-
-/// Like [`schedule`], but reuses a timing analysis the caller already
-/// computed for this `cdfg` and latency (the analysis must be feasible).
-pub(crate) fn schedule_with_timing(
-    cdfg: &Cdfg,
-    timing: &Timing,
-) -> Result<Schedule, ScheduleError> {
-    Kernel::new(cdfg, timing).run()
-}
-
-/// All mutable state of one force-directed scheduling run, slot-indexed by
-/// [`NodeId::index`].
-struct Kernel<'a> {
-    slices: &'a Slices,
-    latency: u32,
+/// One workspace can be reused across any sequence of circuits and
+/// latencies: every buffer (the ASAP/ALAP analysis included) is resized and
+/// reinitialised per run, so a warm run performs no allocation once the
+/// buffers have grown to the largest graph seen, and the produced schedules
+/// are **bit-identical** to cold runs — reuse changes where the f64s live,
+/// never how they are computed (the warm-start identity tests pin this
+/// against `sched::naive`).
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// ASAP/ALAP analysis reused across runs (also lent to the `hyper`
+    /// entry points so feasibility checks share the same buffers).
+    pub(crate) timing: Timing,
     /// Current time frame of each functional node.
     frames: Vec<Frame>,
     /// Whether the node's step has been fixed (its frame is then width 1).
@@ -139,76 +122,147 @@ struct Kernel<'a> {
     queue: VecDeque<NodeId>,
 }
 
+impl Workspace {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+}
+
+/// Schedules `cdfg` within `latency` control steps, minimising the peak
+/// number of simultaneously busy execution units per class.
+///
+/// # Errors
+///
+/// Returns [`ScheduleError::LatencyTooSmall`] if the latency is below the
+/// critical path (taking control edges into account).
+pub fn schedule(cdfg: &Cdfg, latency: u32) -> Result<Schedule, ScheduleError> {
+    let mut ws = Workspace::new();
+    schedule_with_workspace(cdfg, latency, &mut ws)
+}
+
+/// Like [`schedule`], but warm-started: timing analysis and kernel state
+/// reuse the buffers of `ws`.  Intended for walking a circuit across a
+/// whole budget range (the Pareto explorer's inner loop); results are
+/// bit-identical to [`schedule`].
+///
+/// # Errors
+///
+/// Returns [`ScheduleError::LatencyTooSmall`] if the latency is below the
+/// critical path (taking control edges into account).
+pub fn schedule_with_workspace(
+    cdfg: &Cdfg,
+    latency: u32,
+    ws: &mut Workspace,
+) -> Result<Schedule, ScheduleError> {
+    let mut timing = std::mem::take(&mut ws.timing);
+    timing.compute_into(cdfg, latency);
+    let result = if timing.is_feasible() {
+        schedule_with_timing_into(cdfg, &timing, ws)
+    } else {
+        Err(ScheduleError::LatencyTooSmall {
+            requested: latency,
+            critical_path: timing.min_latency(),
+        })
+    };
+    ws.timing = timing;
+    result
+}
+
+/// Runs the kernel against a timing analysis the caller already computed
+/// for this `cdfg` and latency (the analysis must be feasible), on
+/// caller-owned buffers (`ws.timing` is not consulted).
+pub(crate) fn schedule_with_timing_into(
+    cdfg: &Cdfg,
+    timing: &Timing,
+    ws: &mut Workspace,
+) -> Result<Schedule, ScheduleError> {
+    Kernel::init(cdfg, timing, ws).run()
+}
+
+/// One force-directed scheduling run over workspace-owned mutable state,
+/// slot-indexed by [`NodeId::index`].
+struct Kernel<'a> {
+    slices: &'a Slices,
+    latency: u32,
+    ws: &'a mut Workspace,
+}
+
 impl<'a> Kernel<'a> {
-    fn new(cdfg: &'a Cdfg, timing: &Timing) -> Self {
+    /// Resets `ws` for a run over `cdfg` at `timing`'s latency and binds the
+    /// kernel to it.  Every buffer is cleared and resized, so stale state
+    /// from a previous run (another circuit, another latency) cannot leak.
+    fn init(cdfg: &'a Cdfg, timing: &Timing, ws: &'a mut Workspace) -> Self {
         let slices = cdfg.slices();
         let slots = slices.slot_count();
         let latency = timing.latency();
 
-        let mut frames = vec![Frame { earliest: 0, latest: 0 }; slots];
-        let mut fixed = vec![false; slots];
-        let mut fixed_count = 0;
-        let mut class_of = vec![0u8; slots];
-        let mut class_members: [Vec<NodeId>; NUM_CLASSES] = Default::default();
+        ws.frames.clear();
+        ws.frames.resize(slots, Frame { earliest: 0, latest: 0 });
+        ws.fixed.clear();
+        ws.fixed.resize(slots, false);
+        ws.fixed_count = 0;
+        ws.class_of.clear();
+        ws.class_of.resize(slots, 0);
+        for members in &mut ws.class_members {
+            members.clear();
+        }
+        for row in &mut ws.dg {
+            row.clear();
+            row.resize(latency as usize + 1, 0.0);
+        }
+        ws.class_dirty = [true; NUM_CLASSES];
+        ws.cand.clear();
+        ws.cand.resize(slots, (0, 0.0));
+        ws.cand_valid.clear();
+        ws.cand_valid.resize(slots, false);
+        ws.changed.clear();
+        ws.changed_flag.clear();
+        ws.changed_flag.resize(slots, false);
+        ws.queue.clear();
+
         for &n in slices.functional() {
             let data = cdfg.node(n).expect("live node");
             let i = n.index();
             let frame = Frame { earliest: timing.asap(n), latest: timing.alap(n) };
-            frames[i] = frame;
+            ws.frames[i] = frame;
             if frame.width() == 1 {
-                fixed[i] = true;
-                fixed_count += 1;
+                ws.fixed[i] = true;
+                ws.fixed_count += 1;
             }
             let class = data.op.class().dense_index();
-            class_of[i] = class as u8;
-            class_members[class].push(n);
+            ws.class_of[i] = class as u8;
+            ws.class_members[class].push(n);
         }
 
-        let rows = core::array::from_fn(|_| vec![0.0; latency as usize + 1]);
-
-        Kernel {
-            slices,
-            latency,
-            frames,
-            fixed,
-            fixed_count,
-            class_of,
-            class_members,
-            dg: rows,
-            class_dirty: [true; NUM_CLASSES],
-            cand: vec![(0, 0.0); slots],
-            cand_valid: vec![false; slots],
-            changed: Vec::new(),
-            changed_flag: vec![false; slots],
-            queue: VecDeque::new(),
-        }
+        Kernel { slices, latency, ws }
     }
 
     fn run(mut self) -> Result<Schedule, ScheduleError> {
         let total = self.slices.functional().len();
-        while self.fixed_count < total {
+        while self.ws.fixed_count < total {
             self.refresh_dirty_rows();
             let (node, step) = self.pick();
             let i = node.index();
-            self.fixed[i] = true;
-            self.fixed_count += 1;
-            self.frames[i] = Frame { earliest: step, latest: step };
+            self.ws.fixed[i] = true;
+            self.ws.fixed_count += 1;
+            self.ws.frames[i] = Frame { earliest: step, latest: step };
             self.mark_changed(node);
             self.propagate_from(node)?;
             // Frame changes dirty the owning class's DG row and the node's
             // cached candidate.
-            for k in 0..self.changed.len() {
-                let m = self.changed[k];
-                self.class_dirty[self.class_of[m.index()] as usize] = true;
-                self.cand_valid[m.index()] = false;
-                self.changed_flag[m.index()] = false;
+            for k in 0..self.ws.changed.len() {
+                let m = self.ws.changed[k];
+                self.ws.class_dirty[self.ws.class_of[m.index()] as usize] = true;
+                self.ws.cand_valid[m.index()] = false;
+                self.ws.changed_flag[m.index()] = false;
             }
-            self.changed.clear();
+            self.ws.changed.clear();
         }
 
         let mut schedule = Schedule::new(self.latency);
         for &n in self.slices.functional() {
-            schedule.assign(n, self.frames[n.index()].earliest);
+            schedule.assign(n, self.ws.frames[n.index()].earliest);
         }
         Ok(schedule)
     }
@@ -218,20 +272,22 @@ impl<'a> Kernel<'a> {
     /// node order — the reference implementation's map-construction order —
     /// so the resulting f64 values are bit-identical to a full rebuild.
     fn refresh_dirty_rows(&mut self) {
+        let ws = &mut *self.ws;
         for class in 0..NUM_CLASSES {
-            if !self.class_dirty[class] {
+            if !ws.class_dirty[class] {
                 continue;
             }
-            self.class_dirty[class] = false;
-            self.dg[class].fill(0.0);
-            for &m in &self.class_members[class] {
-                let frame = self.frames[m.index()];
+            ws.class_dirty[class] = false;
+            let row = &mut ws.dg[class];
+            row.fill(0.0);
+            for &m in &ws.class_members[class] {
+                let frame = ws.frames[m.index()];
                 let p = frame.probability(frame.earliest);
                 for step in frame.earliest..=frame.latest {
-                    self.dg[class][step as usize] += p;
+                    row[step as usize] += p;
                 }
-                if !self.fixed[m.index()] {
-                    self.cand_valid[m.index()] = false;
+                if !ws.fixed[m.index()] {
+                    ws.cand_valid[m.index()] = false;
                 }
             }
         }
@@ -245,14 +301,15 @@ impl<'a> Kernel<'a> {
         let mut best: Option<(NodeId, u32, f64)> = None;
         for &n in self.slices.functional() {
             let i = n.index();
-            if self.fixed[i] {
+            if self.ws.fixed[i] {
                 continue;
             }
-            if !self.cand_valid[i] {
-                self.cand[i] = self.best_candidate(n);
-                self.cand_valid[i] = true;
+            if !self.ws.cand_valid[i] {
+                let candidate = self.best_candidate(n);
+                self.ws.cand[i] = candidate;
+                self.ws.cand_valid[i] = true;
             }
-            let (step, force) = self.cand[i];
+            let (step, force) = self.ws.cand[i];
             let better = match best {
                 None => true,
                 Some((bn, bs, bf)) => {
@@ -270,8 +327,8 @@ impl<'a> Kernel<'a> {
     /// The node's best step by self-force, scanning its frame in ascending
     /// order with the reference comparator.
     fn best_candidate(&self, n: NodeId) -> (u32, f64) {
-        let frame = self.frames[n.index()];
-        let row = &self.dg[self.class_of[n.index()] as usize];
+        let frame = self.ws.frames[n.index()];
+        let row = &self.ws.dg[self.ws.class_of[n.index()] as usize];
         let mut best: Option<(u32, f64)> = None;
         for step in frame.earliest..=frame.latest {
             let force = self_force(row, frame, step);
@@ -287,9 +344,9 @@ impl<'a> Kernel<'a> {
     }
 
     fn mark_changed(&mut self, n: NodeId) {
-        if !self.changed_flag[n.index()] {
-            self.changed_flag[n.index()] = true;
-            self.changed.push(n);
+        if !self.ws.changed_flag[n.index()] {
+            self.ws.changed_flag[n.index()] = true;
+            self.ws.changed.push(n);
         }
     }
 
@@ -308,42 +365,42 @@ impl<'a> Kernel<'a> {
     /// clamped away.
     fn propagate_from(&mut self, origin: NodeId) -> Result<(), ScheduleError> {
         // Forward: successors must start after their predecessors finish.
-        self.queue.push_back(origin);
-        while let Some(n) = self.queue.pop_front() {
-            let bound = self.frames[n.index()].earliest + 1;
+        self.ws.queue.push_back(origin);
+        while let Some(n) = self.ws.queue.pop_front() {
+            let bound = self.ws.frames[n.index()].earliest + 1;
             for &s in self.slices.succs(n) {
                 if !self.slices.is_functional(s) {
                     continue;
                 }
                 let i = s.index();
-                if bound > self.frames[i].latest {
-                    self.queue.clear();
+                if bound > self.ws.frames[i].latest {
+                    self.ws.queue.clear();
                     return Err(ScheduleError::InfeasiblePropagation { node: s });
                 }
-                if !self.fixed[i] && bound > self.frames[i].earliest {
-                    self.frames[i].earliest = bound;
+                if !self.ws.fixed[i] && bound > self.ws.frames[i].earliest {
+                    self.ws.frames[i].earliest = bound;
                     self.mark_changed(s);
-                    self.queue.push_back(s);
+                    self.ws.queue.push_back(s);
                 }
             }
         }
         // Backward: predecessors must finish before their successors start.
-        self.queue.push_back(origin);
-        while let Some(n) = self.queue.pop_front() {
-            let bound = self.frames[n.index()].latest.saturating_sub(1);
+        self.ws.queue.push_back(origin);
+        while let Some(n) = self.ws.queue.pop_front() {
+            let bound = self.ws.frames[n.index()].latest.saturating_sub(1);
             for &p in self.slices.preds(n) {
                 if !self.slices.is_functional(p) {
                     continue;
                 }
                 let i = p.index();
-                if bound < self.frames[i].earliest {
-                    self.queue.clear();
+                if bound < self.ws.frames[i].earliest {
+                    self.ws.queue.clear();
                     return Err(ScheduleError::InfeasiblePropagation { node: p });
                 }
-                if !self.fixed[i] && bound < self.frames[i].latest {
-                    self.frames[i].latest = bound;
+                if !self.ws.fixed[i] && bound < self.ws.frames[i].latest {
+                    self.ws.frames[i].latest = bound;
                     self.mark_changed(p);
-                    self.queue.push_back(p);
+                    self.ws.queue.push_back(p);
                 }
             }
         }
@@ -537,16 +594,46 @@ mod tests {
         g.add_output("o", d).unwrap();
 
         let timing = Timing::compute(&g, 6);
-        let mut kernel = Kernel::new(&g, &timing);
+        let mut ws = Workspace::new();
+        let mut kernel = Kernel::init(&g, &timing, &mut ws);
         // Simulate a (buggy) late fix: d pinned to step 2 even though three
         // predecessors must run first.
         let i = d.index();
-        kernel.frames[i] = Frame { earliest: 2, latest: 2 };
-        kernel.fixed[i] = true;
-        kernel.fixed_count += 1;
+        kernel.ws.frames[i] = Frame { earliest: 2, latest: 2 };
+        kernel.ws.fixed[i] = true;
+        kernel.ws.fixed_count += 1;
         let err = kernel.propagate_from(d).unwrap_err();
         assert!(matches!(err, ScheduleError::InfeasiblePropagation { .. }));
-        assert!(kernel.queue.is_empty(), "worklist drained on error");
+        assert!(kernel.ws.queue.is_empty(), "worklist drained on error");
+    }
+
+    #[test]
+    fn warm_workspace_runs_are_bit_identical_to_cold_runs() {
+        // One workspace reused across circuits and latencies — including an
+        // infeasible one in the middle — must reproduce every cold schedule
+        // exactly and keep erroring where cold runs error.
+        let (g, ..) = abs_diff();
+        let (mut h, gt, amb, bma, _) = abs_diff();
+        h.add_control_edge(gt, amb).unwrap();
+        h.add_control_edge(gt, bma).unwrap();
+
+        let mut ws = Workspace::new();
+        for latency in 2..8 {
+            assert_eq!(
+                schedule_with_workspace(&g, latency, &mut ws).unwrap(),
+                schedule(&g, latency).unwrap(),
+                "unconstrained, latency {latency}"
+            );
+        }
+        let err = schedule_with_workspace(&h, 2, &mut ws).unwrap_err();
+        assert!(matches!(err, ScheduleError::LatencyTooSmall { requested: 2, critical_path: 3 }));
+        for latency in 3..8 {
+            assert_eq!(
+                schedule_with_workspace(&h, latency, &mut ws).unwrap(),
+                schedule(&h, latency).unwrap(),
+                "constrained, latency {latency}"
+            );
+        }
     }
 
     #[test]

@@ -48,7 +48,39 @@ impl HyperOptions {
 /// * [`ScheduleError::LatencyExceeded`] / [`ScheduleError::InsufficientResources`]
 ///   when an explicit resource constraint cannot meet the latency.
 pub fn schedule(cdfg: &Cdfg, options: &HyperOptions) -> Result<Schedule, ScheduleError> {
-    let timing = Timing::compute(cdfg, options.latency);
+    let mut ws = force::Workspace::new();
+    schedule_with_workspace(cdfg, options, &mut ws)
+}
+
+/// Like [`schedule`], but warm-started: the timing analysis and the
+/// force-directed kernel reuse the buffers of `ws`, so repeated
+/// resource-unconstrained calls (the Pareto explorer walking a circuit
+/// across its whole budget range) allocate nothing once the buffers have
+/// grown.  The [`ResourceConstraint::Limited`] path still runs list
+/// scheduling with its own per-call state — only the force-directed side
+/// is warm.  Results are bit-identical to [`schedule`] either way.
+///
+/// # Errors
+///
+/// Same conditions as [`schedule`].
+pub fn schedule_with_workspace(
+    cdfg: &Cdfg,
+    options: &HyperOptions,
+    ws: &mut force::Workspace,
+) -> Result<Schedule, ScheduleError> {
+    let mut timing = std::mem::take(&mut ws.timing);
+    timing.compute_into(cdfg, options.latency);
+    let result = schedule_with_timing(cdfg, options, &timing, ws);
+    ws.timing = timing;
+    result
+}
+
+fn schedule_with_timing(
+    cdfg: &Cdfg,
+    options: &HyperOptions,
+    timing: &Timing,
+    ws: &mut force::Workspace,
+) -> Result<Schedule, ScheduleError> {
     if !timing.is_feasible() {
         return Err(ScheduleError::LatencyTooSmall {
             requested: options.latency,
@@ -58,7 +90,7 @@ pub fn schedule(cdfg: &Cdfg, options: &HyperOptions) -> Result<Schedule, Schedul
     match &options.resources {
         // The timing analysis above is already feasible; hand it to the
         // force-directed kernel instead of recomputing it.
-        ResourceConstraint::Unlimited => force::schedule_with_timing(cdfg, &timing),
+        ResourceConstraint::Unlimited => force::schedule_with_timing_into(cdfg, timing, ws),
         constraint @ ResourceConstraint::Limited(set) => {
             match list::schedule_with_latency(cdfg, constraint, options.latency) {
                 Ok(s) => Ok(s),
@@ -68,7 +100,7 @@ pub fn schedule(cdfg: &Cdfg, options: &HyperOptions) -> Result<Schedule, Schedul
                     // the resource-minimising schedule as a fallback — if it
                     // happens to fit inside the allocation, it is a valid
                     // answer.
-                    let fallback = force::schedule_with_timing(cdfg, &timing)?;
+                    let fallback = force::schedule_with_timing_into(cdfg, timing, ws)?;
                     if fallback.resource_usage(cdfg).fits_within(set) {
                         Ok(fallback)
                     } else {
@@ -141,6 +173,43 @@ mod tests {
         g.add_control_edge(gt, bma).unwrap();
         let err = schedule(&g, &HyperOptions::with_latency(2)).unwrap_err();
         assert!(matches!(err, ScheduleError::LatencyTooSmall { requested: 2, critical_path: 3 }));
+    }
+
+    #[test]
+    fn sub_critical_latency_with_resources_reports_latency_not_clamped_priorities() {
+        // The feasibility gate must fire before list scheduling ever sees
+        // the clamped ALAP priorities of an infeasible latency.
+        let (mut g, gt, amb, bma, _) = abs_diff();
+        g.add_control_edge(gt, amb).unwrap();
+        g.add_control_edge(gt, bma).unwrap();
+        let constraint =
+            ResourceConstraint::limited([(OpClass::Sub, 2), (OpClass::Comp, 1), (OpClass::Mux, 1)]);
+        let err = schedule(&g, &HyperOptions::with_resources(2, constraint)).unwrap_err();
+        assert!(matches!(err, ScheduleError::LatencyTooSmall { requested: 2, critical_path: 3 }));
+    }
+
+    #[test]
+    fn warm_workspace_matches_cold_runs_across_constraints() {
+        let (g, ..) = abs_diff();
+        let mut ws = crate::force::Workspace::new();
+        for latency in 2..6 {
+            let options = HyperOptions::with_latency(latency);
+            assert_eq!(
+                schedule_with_workspace(&g, &options, &mut ws).unwrap(),
+                schedule(&g, &options).unwrap(),
+                "unlimited, latency {latency}"
+            );
+        }
+        let constraint =
+            ResourceConstraint::limited([(OpClass::Sub, 1), (OpClass::Comp, 1), (OpClass::Mux, 1)]);
+        for latency in 3..6 {
+            let options = HyperOptions::with_resources(latency, constraint.clone());
+            assert_eq!(
+                schedule_with_workspace(&g, &options, &mut ws).unwrap(),
+                schedule(&g, &options).unwrap(),
+                "limited, latency {latency}"
+            );
+        }
     }
 
     #[test]

@@ -20,15 +20,22 @@ use crate::timing::Timing;
 
 /// Schedules `cdfg` under `constraint`, using as many control steps as
 /// needed.  `priority_latency` is the latency used to compute ALAP-based
-/// priorities (a reasonable choice is the critical-path length or the target
-/// latency of the design).
+/// priorities; it must be at least the critical-path length (a reasonable
+/// choice is the critical path itself or the target latency of the design).
 ///
 /// The returned schedule's `num_steps` is the number of steps actually used.
 ///
 /// # Errors
 ///
-/// Returns [`ScheduleError::InsufficientResources`] if a class with a zero
-/// limit is needed by the design (the schedule could never finish).
+/// * [`ScheduleError::InsufficientResources`] if a class with a zero limit
+///   is needed by the design (the schedule could never finish),
+/// * [`ScheduleError::LatencyTooSmall`] for a zero `priority_latency`,
+/// * [`ScheduleError::InfeasiblePropagation`] when `priority_latency` is
+///   below the critical path.  The ALAP pass then drives some node's ALAP
+///   below its ASAP (`Timing` floors the successor bound with a saturating
+///   subtraction), and before PR 5 the scheduler silently consumed those
+///   clamped values as priorities — the same class of masked infeasibility
+///   as the old step-1 clamp in `sched::force`'s backward pass.
 pub fn schedule(
     cdfg: &Cdfg,
     constraint: &ResourceConstraint,
@@ -44,7 +51,21 @@ pub fn schedule(
         }
     }
 
-    let timing = Timing::compute(cdfg, priority_latency.max(1));
+    // Surface degenerate priority latencies instead of flooring them: the
+    // old `priority_latency.max(1)` clamp quietly scheduled against a
+    // meaningless one-step ALAP analysis.
+    if priority_latency == 0 {
+        return Err(ScheduleError::LatencyTooSmall {
+            requested: 0,
+            critical_path: cdfg.critical_path_length(),
+        });
+    }
+    let timing = Timing::compute(cdfg, priority_latency);
+    if let Some(&node) = timing.infeasible_nodes().first() {
+        // ASAP > ALAP for some node: the clamped ALAPs are not priorities,
+        // they are an infeasibility report.
+        return Err(ScheduleError::InfeasiblePropagation { node });
+    }
     let slices = cdfg.slices();
     let functional = slices.functional();
     let total = functional.len();
@@ -84,7 +105,8 @@ pub fn schedule(
                 .filter(|n| steps[n.index()] == 0 && pending_preds[n.index()] == 0),
         );
         // Priority: smaller ALAP (more urgent) first, then smaller mobility,
-        // then node id for determinism.
+        // then node id for determinism.  The infeasibility check above
+        // guarantees mobility is defined for every functional node.
         ready.sort_by_key(|&n| (timing.alap(n), timing.mobility(n).unwrap_or(0), n));
 
         let mut used = [0usize; OpClass::FUNCTIONAL.len()];
@@ -220,6 +242,47 @@ mod tests {
         let no_mux = ResourceConstraint::limited([(OpClass::Sub, 1), (OpClass::Comp, 1)]);
         let err = schedule(&g, &no_mux, 3).unwrap_err();
         assert!(matches!(err, ScheduleError::InsufficientResources { .. }));
+    }
+
+    /// A five-deep negation chain, the propagate-regression shape shared
+    /// with `force::tests` and `naive::tests`.
+    fn neg_chain() -> Cdfg {
+        let mut g = Cdfg::new("chain");
+        let x = g.add_input("x");
+        let mut prev = g.add_op(Op::Neg, &[x]).unwrap();
+        for _ in 0..4 {
+            prev = g.add_op(Op::Neg, &[prev]).unwrap();
+        }
+        g.add_output("o", prev).unwrap();
+        g
+    }
+
+    #[test]
+    fn sub_critical_priority_latency_surfaces_instead_of_clamping() {
+        // Regression mirroring the force/naive propagate suite: a priority
+        // latency below the chain's critical path used to floor the clamped
+        // ALAPs into bogus priorities; it must now surface the infeasible
+        // node instead.
+        let g = neg_chain();
+        assert_eq!(g.critical_path_length(), 5);
+        let err = schedule(&g, &ResourceConstraint::Unlimited, 3).unwrap_err();
+        assert!(matches!(err, ScheduleError::InfeasiblePropagation { .. }), "{err:?}");
+        let err = schedule_with_latency(&g, &ResourceConstraint::Unlimited, 4).unwrap_err();
+        assert!(matches!(err, ScheduleError::InfeasiblePropagation { .. }), "{err:?}");
+        // At the critical path the same chain schedules fine.
+        let s = schedule(&g, &ResourceConstraint::Unlimited, 5).unwrap();
+        s.validate(&g).unwrap();
+        assert_eq!(s.num_steps(), 5);
+    }
+
+    #[test]
+    fn zero_priority_latency_is_rejected_not_floored() {
+        let g = neg_chain();
+        let err = schedule(&g, &ResourceConstraint::Unlimited, 0).unwrap_err();
+        assert!(
+            matches!(err, ScheduleError::LatencyTooSmall { requested: 0, critical_path: 5 }),
+            "{err:?}"
+        );
     }
 
     #[test]
