@@ -1,0 +1,186 @@
+//! A dense, fixed-capacity bitset over node indices.
+//!
+//! The mux-analysis hot path tests cone membership and "needed" flags for
+//! thousands of nodes per multiplexor; `BTreeSet<NodeId>` answers each test
+//! with a pointer-chasing tree walk and each insert with an allocation.
+//! [`DenseBitSet`] packs the same membership into one `u64` word per 64 node
+//! slots: membership is a shift and a mask, clearing is a `memset`, and a
+//! workspace can reuse the backing storage across queries forever.
+//!
+//! The crate vendors its own bitset (rather than pulling `fixedbitset` or
+//! `bit-vec`) because the build is offline: no new dependencies.
+
+/// A fixed-capacity set of `usize` indices backed by `u64` words.
+///
+/// Capacity is set by [`DenseBitSet::resize_cleared`]; all operations on
+/// indices at or beyond the capacity panic (same contract as indexing a
+/// dense `Vec` in the scheduling kernels).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DenseBitSet {
+    words: Vec<u64>,
+    bits: usize,
+}
+
+impl DenseBitSet {
+    /// An empty set with zero capacity.
+    pub fn new() -> Self {
+        DenseBitSet::default()
+    }
+
+    /// An empty set able to hold indices `0..bits`.
+    pub fn with_capacity(bits: usize) -> Self {
+        DenseBitSet { words: vec![0; bits.div_ceil(64)], bits }
+    }
+
+    /// Clears the set and resizes it to hold indices `0..bits`.
+    ///
+    /// Reuses the existing allocation when possible — this is the reset a
+    /// workspace performs once per graph.
+    pub fn resize_cleared(&mut self, bits: usize) {
+        self.words.clear();
+        self.words.resize(bits.div_ceil(64), 0);
+        self.bits = bits;
+    }
+
+    /// Removes every index without changing the capacity.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Number of indices the set can hold.
+    pub fn capacity(&self) -> usize {
+        self.bits
+    }
+
+    /// Inserts `index`, returning `true` if it was not already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= capacity`.
+    pub fn insert(&mut self, index: usize) -> bool {
+        assert!(index < self.bits, "index {index} out of bitset capacity {}", self.bits);
+        let word = &mut self.words[index / 64];
+        let mask = 1u64 << (index % 64);
+        let fresh = *word & mask == 0;
+        *word |= mask;
+        fresh
+    }
+
+    /// Removes `index`, returning `true` if it was present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= capacity`.
+    pub fn remove(&mut self, index: usize) -> bool {
+        assert!(index < self.bits, "index {index} out of bitset capacity {}", self.bits);
+        let word = &mut self.words[index / 64];
+        let mask = 1u64 << (index % 64);
+        let present = *word & mask != 0;
+        *word &= !mask;
+        present
+    }
+
+    /// Whether `index` is in the set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= capacity`.
+    pub fn contains(&self, index: usize) -> bool {
+        assert!(index < self.bits, "index {index} out of bitset capacity {}", self.bits);
+        self.words[index / 64] & (1u64 << (index % 64)) != 0
+    }
+
+    /// Number of indices in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set holds no indices.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates over the members in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let tz = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(wi * 64 + tz)
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove_round_trip() {
+        let mut s = DenseBitSet::with_capacity(130);
+        assert!(s.is_empty());
+        assert!(s.insert(0));
+        assert!(s.insert(63));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(64), "second insert reports already-present");
+        assert_eq!(s.len(), 4);
+        assert!(s.contains(0) && s.contains(63) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1) && !s.contains(128));
+        assert!(s.remove(64));
+        assert!(!s.remove(64), "second remove reports absent");
+        assert!(!s.contains(64));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn iter_is_ascending_and_complete() {
+        let mut s = DenseBitSet::with_capacity(200);
+        for i in [199, 0, 65, 3, 64, 127, 128] {
+            s.insert(i);
+        }
+        let got: Vec<usize> = s.iter().collect();
+        assert_eq!(got, vec![0, 3, 64, 65, 127, 128, 199]);
+    }
+
+    #[test]
+    fn resize_cleared_drops_members_and_reuses() {
+        let mut s = DenseBitSet::with_capacity(100);
+        s.insert(42);
+        s.resize_cleared(50);
+        assert_eq!(s.capacity(), 50);
+        assert!(s.is_empty());
+        s.insert(49);
+        s.resize_cleared(100);
+        assert!(!s.contains(49), "resize clears old members");
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut s = DenseBitSet::with_capacity(70);
+        s.insert(69);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.capacity(), 70);
+        assert!(!s.contains(69));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bitset capacity")]
+    fn out_of_capacity_contains_panics() {
+        let s = DenseBitSet::with_capacity(10);
+        let _ = s.contains(10);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bitset capacity")]
+    fn out_of_capacity_insert_panics() {
+        let mut s = DenseBitSet::new();
+        s.insert(0);
+    }
+}

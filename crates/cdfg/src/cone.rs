@@ -85,6 +85,43 @@ pub fn distance_to_output(cdfg: &Cdfg, node: NodeId) -> Option<u32> {
     None
 }
 
+/// Distance (in data edges) from *every* node to its nearest primary output
+/// in one pass: a multi-source reverse breadth-first search from all outputs
+/// over data predecessors.  Slot `i` holds the distance of `NodeId(i)`, or
+/// `None` when no output is reachable from that node (dead code) or the slot
+/// is not a live node.
+///
+/// Per node, the value equals [`distance_to_output`]; computing all of them
+/// at once turns the mux-ordering passes from one forward BFS per
+/// multiplexor into a single sweep over the graph.
+pub fn distances_to_outputs(cdfg: &Cdfg) -> Vec<Option<u32>> {
+    let slices = cdfg.slices();
+    let mut dist: Vec<Option<u32>> = vec![None; slices.slot_count()];
+    let mut frontier: Vec<NodeId> = Vec::new();
+    for &o in cdfg.outputs() {
+        if dist[o.index()].is_none() {
+            dist[o.index()] = Some(0);
+            frontier.push(o);
+        }
+    }
+    let mut depth = 0u32;
+    let mut next: Vec<NodeId> = Vec::new();
+    while !frontier.is_empty() {
+        depth += 1;
+        next.clear();
+        for &n in &frontier {
+            for &p in slices.data_preds(n) {
+                if dist[p.index()].is_none() {
+                    dist[p.index()] = Some(depth);
+                    next.push(p);
+                }
+            }
+        }
+        std::mem::swap(&mut frontier, &mut next);
+    }
+    dist
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,6 +191,23 @@ mod tests {
         for n in g.node_ids() {
             assert!(distance_to_output(&g, n).is_some());
         }
+    }
+
+    #[test]
+    fn distances_to_outputs_match_per_node_queries() {
+        let (mut g, _) = nested();
+        // Add dead code so the one-pass sweep has unreachable nodes to agree
+        // on as well.
+        let a = g.inputs()[0];
+        let b = g.inputs()[1];
+        let dead = g.add_op(Op::Mul, &[a, b]).unwrap();
+        let deader = g.add_op(Op::Neg, &[dead]).unwrap();
+        let all = distances_to_outputs(&g);
+        for n in g.node_ids() {
+            assert_eq!(all[n.index()], distance_to_output(&g, n), "distance of {n}");
+        }
+        assert_eq!(all[dead.index()], None);
+        assert_eq!(all[deader.index()], None);
     }
 
     #[test]

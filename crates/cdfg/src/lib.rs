@@ -45,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bitset;
 pub mod builder;
 pub mod cdfg;
 pub mod cone;
@@ -55,6 +56,7 @@ pub mod op;
 pub mod slices;
 pub mod stats;
 
+pub use crate::bitset::DenseBitSet;
 pub use crate::builder::CdfgBuilder;
 pub use crate::cdfg::{
     Cdfg, EdgeData, EdgeKind, NodeData, MUX_FALSE_PORT, MUX_SELECT_PORT, MUX_TRUE_PORT,

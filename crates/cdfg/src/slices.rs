@@ -36,7 +36,10 @@ pub struct Slices {
     pred_data: Vec<NodeId>,
     succ_index: Vec<u32>,
     succ_data: Vec<NodeId>,
+    data_pred_index: Vec<u32>,
+    data_pred_data: Vec<NodeId>,
     topo: Vec<NodeId>,
+    topo_pos: Vec<u32>,
     functional: Vec<NodeId>,
     functional_mask: Vec<bool>,
 }
@@ -51,10 +54,13 @@ impl Slices {
         let mut pred_data = Vec::with_capacity(graph.edge_count());
         let mut succ_index = Vec::with_capacity(slot_count + 1);
         let mut succ_data = Vec::with_capacity(graph.edge_count());
+        let mut data_pred_index = Vec::with_capacity(slot_count + 1);
+        let mut data_pred_data = Vec::with_capacity(graph.edge_count());
         let mut scratch: Vec<NodeId> = Vec::new();
 
         pred_index.push(0);
         succ_index.push(0);
+        data_pred_index.push(0);
         for slot in 0..slot_count {
             let id = NodeId::new(slot as u32);
             if graph.contains_node(id) {
@@ -70,6 +76,19 @@ impl Slices {
                 pred_data.extend_from_slice(&scratch);
 
                 scratch.clear();
+                scratch.extend(graph.in_edges(id).iter().filter_map(|&e| {
+                    let payload = graph.edge(e)?;
+                    if payload.kind.is_data() {
+                        graph.edge_endpoints(e).map(|(s, _)| s)
+                    } else {
+                        None
+                    }
+                }));
+                scratch.sort();
+                scratch.dedup();
+                data_pred_data.extend_from_slice(&scratch);
+
+                scratch.clear();
                 scratch.extend(
                     graph
                         .out_edges(id)
@@ -82,9 +101,14 @@ impl Slices {
             }
             pred_index.push(pred_data.len() as u32);
             succ_index.push(succ_data.len() as u32);
+            data_pred_index.push(data_pred_data.len() as u32);
         }
 
         let topo = graph.topological_order().expect("CDFG must be acyclic");
+        let mut topo_pos = vec![0u32; slot_count];
+        for (pos, &n) in topo.iter().enumerate() {
+            topo_pos[n.index()] = pos as u32;
+        }
 
         let mut functional = Vec::new();
         let mut functional_mask = vec![false; slot_count];
@@ -101,7 +125,10 @@ impl Slices {
             pred_data,
             succ_index,
             succ_data,
+            data_pred_index,
+            data_pred_data,
             topo,
+            topo_pos,
             functional,
             functional_mask,
         }
@@ -133,9 +160,28 @@ impl Slices {
         &self.succ_data[self.succ_index[i] as usize..self.succ_index[i + 1] as usize]
     }
 
+    /// Immediate predecessors of `id` via *data* edges only, deduplicated
+    /// and ascending (empty for unknown ids).  This is the adjacency cone
+    /// queries walk: fanin cones follow value flow, never precedence edges.
+    pub fn data_preds(&self, id: NodeId) -> &[NodeId] {
+        let i = id.index();
+        if i >= self.slot_count {
+            return &[];
+        }
+        &self.data_pred_data[self.data_pred_index[i] as usize..self.data_pred_index[i + 1] as usize]
+    }
+
     /// The deterministic topological order of all nodes.
     pub fn topo(&self) -> &[NodeId] {
         &self.topo
+    }
+
+    /// Position of `id` in [`Slices::topo`]; lets callers order an arbitrary
+    /// node subset topologically with a sort instead of a full-graph scan.
+    ///
+    /// Unknown ids return 0 — only pass live node ids.
+    pub fn topo_pos(&self, id: NodeId) -> u32 {
+        self.topo_pos.get(id.index()).copied().unwrap_or(0)
     }
 
     /// Ids of all functional nodes, ascending.
@@ -187,6 +233,32 @@ mod tests {
         g.add_output("o", sq).unwrap();
         assert_eq!(g.slices().preds(sq), &[a]);
         assert_eq!(g.slices().succs(a), &[sq]);
+    }
+
+    #[test]
+    fn data_preds_exclude_control_edges() {
+        let (mut g, gt, amb, ..) = abs_diff();
+        g.add_control_edge(gt, amb).unwrap();
+        let sl = g.slices();
+        assert!(sl.preds(amb).contains(&gt), "combined adjacency sees the control edge");
+        assert!(!sl.data_preds(amb).contains(&gt), "data adjacency does not");
+        for id in g.node_ids() {
+            let mut expected: Vec<NodeId> = g.operands(id);
+            expected.sort();
+            expected.dedup();
+            assert_eq!(sl.data_preds(id), expected.as_slice(), "data preds of {id}");
+        }
+        assert!(sl.data_preds(NodeId::new(999)).is_empty());
+    }
+
+    #[test]
+    fn topo_pos_matches_topo_order() {
+        let (g, ..) = abs_diff();
+        let sl = g.slices();
+        for (pos, &n) in sl.topo().iter().enumerate() {
+            assert_eq!(sl.topo_pos(n), pos as u32);
+        }
+        assert_eq!(sl.topo_pos(NodeId::new(999)), 0, "unknown ids report 0");
     }
 
     #[test]

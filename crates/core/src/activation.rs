@@ -105,6 +105,18 @@ impl Activation {
 
         for mm in managed {
             let condition_step = if mm.select_functional {
+                // A functional select driver must be in the schedule; the
+                // `u32::MAX` fallback keeps release builds safe (the mux is
+                // simply treated as never-gating), but an absent driver means
+                // the ManagedMux list and the schedule disagree about which
+                // graph they describe — catch that instead of silently
+                // reporting zero savings for the mux.
+                debug_assert!(
+                    schedule.step_of(mm.select_driver).is_some(),
+                    "select driver {} of managed mux {} is missing from the schedule",
+                    mm.select_driver,
+                    mm.mux
+                );
                 schedule.step_of(mm.select_driver).unwrap_or(u32::MAX)
             } else {
                 0
@@ -233,6 +245,35 @@ mod tests {
         assert!(activation.gated_nodes().is_empty());
         let expected = activation.expected_counts();
         assert!((expected[&OpClass::Sub] - 2.0).abs() < 1e-9);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "missing from the schedule")]
+    fn inconsistent_managed_mux_is_caught() {
+        // Hand-build a ManagedMux whose (functional) select driver is not in
+        // the schedule at all — e.g. stale analysis paired with a schedule of
+        // a different graph.  The debug assertion must catch the mismatch
+        // instead of silently treating the mux as never-gating.
+        let g = abs_diff();
+        let result = power_manage(&g, &PowerManagementOptions::with_latency(3)).unwrap();
+        let bogus_driver = NodeId::new(9_999);
+        let real = &result.managed_muxes()[0];
+        let broken = crate::report::ManagedMux {
+            mux: real.mux,
+            select_driver: bogus_driver,
+            select_functional: true,
+            shutdown_false: real.shutdown_false.clone(),
+            shutdown_true: real.shutdown_true.clone(),
+            accepted: true,
+            control_edges: Vec::new(),
+        };
+        let _ = Activation::compute(
+            result.cdfg(),
+            result.schedule(),
+            &[broken],
+            &SelectProbabilities::fair(),
+        );
     }
 
     #[test]

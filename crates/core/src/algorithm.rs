@@ -16,18 +16,25 @@
 //! 12: Generate final Datapath and Controller circuits
 //! ```
 //!
-//! Steps 4–8 are implemented by tentatively inserting the control edges into
-//! a working copy of the CDFG and recomputing ASAP/ALAP: the new edges force
-//! exactly the "data cone after control cone" ordering the paper describes,
-//! and the feasibility test "ASAP > ALAP for any node" becomes
-//! [`sched::Timing::is_feasible`].  Step 12 (datapath and controller
-//! generation) lives in the `binding` and `rtl` crates.
+//! Steps 4–8 are implemented incrementally: one ASAP/ALAP analysis is carried
+//! across the whole per-mux loop and [`sched::Timing::tighten`] re-propagates
+//! only from the endpoints of the control edges a multiplexor would add — the
+//! new edges force exactly the "data cone after control cone" ordering the
+//! paper describes, and the feasibility test "ASAP > ALAP for any node"
+//! surfaces as `tighten` returning `false` (restoring the previous fixed
+//! point).  Control edges are physically inserted only for *accepted*
+//! multiplexors; cycles are pre-checked against a bitset ancestor query, so a
+//! rejected candidate never mutates the working graph at all.  The retained
+//! [`crate::naive`] reference implements the original
+//! insert-recompute-rollback formulation and the identity tests pin both
+//! paths to the same decisions.  Step 12 (datapath and controller generation)
+//! lives in the `binding` and `rtl` crates.
 
-use cdfg::Cdfg;
+use cdfg::{Cdfg, NodeId};
 use sched::hyper::{self, HyperOptions};
-use sched::{ResourceConstraint, ScheduleError, Timing};
+use sched::{ResourceConstraint, ScheduleError, Timing, TimingDelta};
 
-use crate::cones::MuxCones;
+use crate::cones::{ConeWorkspace, MuxCones};
 use crate::error::PowerManageError;
 use crate::mux_order::MuxOrder;
 use crate::report::{ManagedMux, PowerManagementResult};
@@ -117,15 +124,22 @@ pub fn power_manage_with_workspace(
     let mut working = cdfg.clone();
     let order = options.mux_order.order(cdfg);
     let mut managed: Vec<ManagedMux> = Vec::new();
-    // One timing analysis reused (buffers and all) across the per-mux
-    // feasibility checks below.
+    // Analysis state carried across the per-mux loop: the cone workspace is
+    // prepared once (control edges never change data reachability, so its
+    // dead-end set stays valid for the whole loop), and the ASAP/ALAP
+    // analysis is seeded once and then only tightened from the endpoints of
+    // each candidate's control edges.
+    let mut cone_ws = ConeWorkspace::new();
+    cone_ws.prepare(&working);
     let mut timing = Timing::empty();
+    timing.compute_into(&working, options.latency);
+    let mut delta = TimingDelta::default();
+    let mut edge_plan: Vec<(NodeId, NodeId)> = Vec::new();
 
-    // Steps 2-10: examine each multiplexor, tentatively adding its control
-    // edges and keeping them only when every node still satisfies
-    // ASAP <= ALAP for the requested latency.
+    // Steps 2-10: examine each multiplexor, keeping its control edges only
+    // when every node still satisfies ASAP <= ALAP for the requested latency.
     for mux in order {
-        let cones = MuxCones::analyze(&working, mux);
+        let cones = MuxCones::analyze_with(&working, mux, &mut cone_ws);
         if !cones.has_shutdown_candidates() {
             continue;
         }
@@ -151,34 +165,37 @@ pub fn power_manage_with_workspace(
         }
 
         // Step 10 (tentatively): control edges from the last control-cone
-        // node to the top nodes of each shut-down cone.
-        let mut added = Vec::new();
+        // node to the top nodes of each shut-down cone.  An edge
+        // `select_driver -> top` would close a cycle iff `top` is already an
+        // ancestor of the select driver — in that case the select driver
+        // depends on the node and the multiplexor cannot be managed.
+        edge_plan.clear();
         let mut ok = true;
+        let ancestors = cone_ws.ancestors_of(&working, cones.select_driver);
         for set in [&cones.shutdown_false, &cones.shutdown_true] {
             for top in cones.top_nodes(&working, set) {
-                match working.add_control_edge(cones.select_driver, top) {
-                    Ok(edge) => added.push(edge),
-                    Err(_) => {
-                        // A cycle means the select driver already depends on
-                        // this node; the multiplexor cannot be managed.
-                        ok = false;
-                    }
+                if ancestors.contains(top.index()) {
+                    ok = false;
                 }
+                edge_plan.push((cones.select_driver, top));
             }
         }
 
-        // Steps 4-8: the feasibility test.
+        // Steps 4-8: the feasibility test.  `tighten` re-propagates ASAP
+        // forward from the edge destinations and ALAP backward from the edge
+        // sources; on infeasibility it restores the previous fixed point, so
+        // a rejected candidate leaves no trace anywhere.
         if ok {
-            timing.compute_into(&working, options.latency);
-            ok = timing.is_feasible();
+            ok = timing.tighten(&working, &edge_plan, &mut delta);
         }
 
         if ok {
             entry.accepted = true;
-            entry.control_edges = added;
-        } else {
-            for edge in added {
-                working.remove_control_edge(edge);
+            for &(before, after) in &edge_plan {
+                let edge = working
+                    .add_control_edge(before, after)
+                    .expect("edge pre-checked against the ancestor set");
+                entry.control_edges.push(edge);
             }
         }
         managed.push(entry);
@@ -187,9 +204,13 @@ pub fn power_manage_with_workspace(
     // Step 11: HYPER-style scheduling of the constrained graph.  Under an
     // explicit resource limit the extra precedence edges may push the
     // schedule past the latency even though the pure timing test passed; in
-    // that case relax the least-recently accepted multiplexors until the
-    // constraint is met again (the paper's "algorithm chooses a schedule only
-    // if the required throughput and hardware constraints are met").
+    // that case relax the *most*-recently accepted multiplexor first (LIFO —
+    // `rposition` below) and repeat until the constraint is met again (the
+    // paper's "algorithm chooses a schedule only if the required throughput
+    // and hardware constraints are met").  Unwinding newest-first keeps the
+    // decisions of earlier, higher-priority multiplexors intact: the order
+    // heuristics examine the most promising muxes first, so the marginal
+    // acceptances are the cheapest to give back.
     let schedule = loop {
         match hyper::schedule_with_workspace(
             &working,
@@ -228,7 +249,7 @@ pub fn power_manage_with_workspace(
 
 /// Errors that can be cured by removing control edges (as opposed to the
 /// latency simply being below the critical path of the *original* design).
-fn is_resource_pressure(err: &ScheduleError) -> bool {
+pub(crate) fn is_resource_pressure(err: &ScheduleError) -> bool {
     matches!(
         err,
         ScheduleError::LatencyExceeded { .. }
@@ -242,7 +263,10 @@ fn is_resource_pressure(err: &ScheduleError) -> bool {
 ///
 /// The candidate orders are the outputs-first default, the savings-driven
 /// greedy order and the inputs-first order; for designs with at most
-/// `exhaustive_limit` multiplexors every permutation is tried as well.
+/// `exhaustive_limit` multiplexors every permutation is tried as well.  All
+/// candidates share one scheduling workspace, so only the first pays the
+/// buffer-growth cost; the results are bit-identical to cold per-candidate
+/// [`power_manage`] calls.
 ///
 /// # Errors
 ///
@@ -260,9 +284,11 @@ pub fn power_manage_reordered(
         candidates.extend(permutations(&muxes).into_iter().map(MuxOrder::Explicit));
     }
 
+    let mut workspace = sched::force::Workspace::new();
     let mut best: Option<PowerManagementResult> = None;
     for order in candidates {
-        let run = power_manage(cdfg, &options.clone().mux_order(order))?;
+        let run =
+            power_manage_with_workspace(cdfg, &options.clone().mux_order(order), &mut workspace)?;
         let better = match &best {
             None => true,
             Some(current) => {
@@ -442,5 +468,121 @@ mod tests {
         let perms = permutations(&[1, 2, 3]);
         assert_eq!(perms.len(), 6);
         assert!(perms.contains(&vec![3, 1, 2]));
+    }
+
+    /// Two independent `|x - y|` blocks sharing one comparator.
+    fn two_abs_diff_blocks() -> (Cdfg, NodeId, NodeId) {
+        let mut g = Cdfg::new("two_blocks");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let gt1 = g.add_op(Op::Gt, &[a, b]).unwrap();
+        let s1 = g.add_op(Op::Sub, &[a, b]).unwrap();
+        let s2 = g.add_op(Op::Sub, &[b, a]).unwrap();
+        let m1 = g.add_mux(gt1, s2, s1).unwrap();
+        g.add_output("abs1", m1).unwrap();
+        let c = g.add_input("c");
+        let d = g.add_input("d");
+        let gt2 = g.add_op(Op::Gt, &[c, d]).unwrap();
+        let s3 = g.add_op(Op::Sub, &[c, d]).unwrap();
+        let s4 = g.add_op(Op::Sub, &[d, c]).unwrap();
+        let m2 = g.add_mux(gt2, s4, s3).unwrap();
+        g.add_output("abs2", m2).unwrap();
+        (g, m1, m2)
+    }
+
+    #[test]
+    fn relaxation_drops_most_recently_accepted_mux_first() {
+        // With one comparator, three steps cannot fit both managed blocks:
+        // both comparisons would have to run in step 1.  The relaxation loop
+        // unwinds LIFO, so the *first*-accepted multiplexor (m1, examined
+        // first by the outputs-first order) must survive and the second must
+        // lose its control edges.
+        let (g, m1, m2) = two_abs_diff_blocks();
+        let constraint =
+            ResourceConstraint::limited([(OpClass::Comp, 1), (OpClass::Sub, 2), (OpClass::Mux, 2)]);
+        let options = PowerManagementOptions::with_resources(3, constraint);
+        let result = power_manage(&g, &options).unwrap();
+        result.schedule().validate(result.cdfg()).unwrap();
+
+        let entry1 = result.managed_muxes().iter().find(|m| m.mux == m1).unwrap();
+        let entry2 = result.managed_muxes().iter().find(|m| m.mux == m2).unwrap();
+        assert!(entry1.accepted, "the first-accepted mux keeps its edges");
+        assert!(!entry2.accepted, "the most recent acceptance is relaxed first");
+        assert!(entry2.control_edges.is_empty(), "relaxed edges were removed");
+        // Block 1 really is managed: its comparison precedes its subtractions.
+        let s = result.schedule();
+        assert_eq!(s.step_of(entry1.select_driver), Some(1));
+        assert_eq!(result.accepted_muxes().len(), 1);
+    }
+
+    #[test]
+    fn reordered_search_matches_cold_per_order_runs() {
+        // The shared-workspace candidate loop must pick exactly the result a
+        // cold evaluation of the same candidate orders picks.
+        let mut g = Cdfg::new("nested");
+        let x = g.add_input("x");
+        let y = g.add_input("y");
+        let c1 = g.add_op(Op::Gt, &[x, y]).unwrap();
+        let c2 = g.add_op(Op::Lt, &[x, y]).unwrap();
+        let prod = g.add_op(Op::Mul, &[x, y]).unwrap();
+        let sum = g.add_op(Op::Add, &[x, y]).unwrap();
+        let inner = g.add_mux(c2, sum, prod).unwrap();
+        let diff = g.add_op(Op::Sub, &[x, y]).unwrap();
+        let outer = g.add_mux(c1, diff, inner).unwrap();
+        g.add_output("o", outer).unwrap();
+
+        let options = PowerManagementOptions::with_latency(4);
+        let warm = power_manage_reordered(&g, &options, 4).unwrap();
+
+        let mut candidates: Vec<MuxOrder> =
+            vec![MuxOrder::OutputsFirst, MuxOrder::BySavings, MuxOrder::InputsFirst];
+        candidates.extend(permutations(&g.mux_nodes()).into_iter().map(MuxOrder::Explicit));
+        let mut cold: Option<PowerManagementResult> = None;
+        for order in candidates {
+            let run = power_manage(&g, &options.clone().mux_order(order)).unwrap();
+            let better = match &cold {
+                None => true,
+                Some(current) => {
+                    run.savings().reduction_percent > current.savings().reduction_percent + 1e-9
+                }
+            };
+            if better {
+                cold = Some(run);
+            }
+        }
+        let cold = cold.unwrap();
+        assert_eq!(warm.schedule(), cold.schedule());
+        assert_eq!(warm.baseline_schedule(), cold.baseline_schedule());
+        assert_eq!(warm.savings().reduction_percent, cold.savings().reduction_percent);
+        assert_eq!(warm.accepted_muxes().len(), cold.accepted_muxes().len());
+    }
+
+    #[test]
+    fn incremental_path_matches_naive_reference_decisions() {
+        // Same circuits the module tests above use, across a budget range,
+        // pinned against the retained insert-recompute-rollback reference.
+        let (g, ..) = abs_diff();
+        let (g2, ..) = two_abs_diff_blocks();
+        for graph in [&g, &g2] {
+            for latency in 2..7 {
+                let options = PowerManagementOptions::with_latency(latency);
+                let fast = power_manage(graph, &options).unwrap();
+                let slow = crate::naive::power_manage(graph, &options).unwrap();
+                assert_eq!(fast.schedule(), slow.schedule(), "latency {latency}");
+                assert_eq!(fast.baseline_schedule(), slow.baseline_schedule());
+                assert_eq!(fast.managed_muxes().len(), slow.managed_muxes().len());
+                for (f, s) in fast.managed_muxes().iter().zip(slow.managed_muxes()) {
+                    assert_eq!(f.mux, s.mux);
+                    assert_eq!(f.accepted, s.accepted, "latency {latency}, mux {}", f.mux);
+                    assert_eq!(f.shutdown_false, s.shutdown_false);
+                    assert_eq!(f.shutdown_true, s.shutdown_true);
+                }
+                assert_eq!(
+                    fast.savings().reduction_percent,
+                    slow.savings().reduction_percent,
+                    "bit-identical savings at latency {latency}"
+                );
+            }
+        }
     }
 }

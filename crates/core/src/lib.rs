@@ -62,13 +62,15 @@ pub mod algorithm;
 pub mod cones;
 pub mod error;
 pub mod mux_order;
+#[cfg(any(test, feature = "reference"))]
+pub mod naive;
 pub mod pipeline;
 pub mod report;
 pub mod savings;
 
 pub use crate::activation::{Activation, SelectProbabilities};
 pub use crate::algorithm::{power_manage, power_manage_with_workspace, PowerManagementOptions};
-pub use crate::cones::MuxCones;
+pub use crate::cones::{ConeWorkspace, MuxCones};
 pub use crate::error::PowerManageError;
 pub use crate::mux_order::MuxOrder;
 pub use crate::pipeline::{pipeline_register_estimate, PipelineReport};

@@ -12,7 +12,7 @@ use std::collections::BTreeSet;
 
 use cdfg::{cone, Cdfg, NodeId};
 
-use crate::cones::MuxCones;
+use crate::cones::{ConeWorkspace, MuxCones};
 
 /// Strategy for choosing the order in which multiplexors are examined for
 /// power management.
@@ -43,12 +43,15 @@ impl MuxOrder {
             MuxOrder::OutputsFirst => sort_by_output_distance(cdfg, muxes, false),
             MuxOrder::InputsFirst => sort_by_output_distance(cdfg, muxes, true),
             MuxOrder::BySavings => {
+                let mut ws = ConeWorkspace::new();
+                ws.prepare(cdfg);
+                let dist = cone::distances_to_outputs(cdfg);
                 let mut with_sizes: Vec<(usize, u32, NodeId)> = muxes
                     .into_iter()
                     .map(|m| {
-                        let cones = MuxCones::analyze(cdfg, m);
-                        let dist = cone::distance_to_output(cdfg, m).unwrap_or(u32::MAX);
-                        (cones.shutdown_candidate_count(), dist, m)
+                        let cones = MuxCones::analyze_with(cdfg, m, &mut ws);
+                        let d = dist[m.index()].unwrap_or(u32::MAX);
+                        (cones.shutdown_candidate_count(), d, m)
                     })
                     .collect();
                 // Most candidates first; ties broken towards the outputs.
@@ -73,10 +76,12 @@ impl MuxOrder {
 }
 
 fn sort_by_output_distance(cdfg: &Cdfg, muxes: Vec<NodeId>, reverse: bool) -> Vec<NodeId> {
-    let mut keyed: Vec<(u32, NodeId)> = muxes
-        .into_iter()
-        .map(|m| (cone::distance_to_output(cdfg, m).unwrap_or(u32::MAX), m))
-        .collect();
+    // One multi-source reverse BFS gives every distance at once; per mux the
+    // value (and therefore the order) is identical to the per-node forward
+    // BFS this used to run.
+    let dist = cone::distances_to_outputs(cdfg);
+    let mut keyed: Vec<(u32, NodeId)> =
+        muxes.into_iter().map(|m| (dist[m.index()].unwrap_or(u32::MAX), m)).collect();
     keyed.sort();
     if reverse {
         keyed.reverse();

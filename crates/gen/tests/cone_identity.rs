@@ -1,0 +1,132 @@
+//! Cone-identity property tests: the dense-bitset mux analysis
+//! (`pmsched::cones`) and the retained `BTreeSet`-walking reference
+//! (`pmsched::naive`) must produce *equal* `MuxCones` — same cones, same
+//! shut-down sets — for every multiplexor of every circuit family the
+//! generator can draw, and the incremental selection loop must reach the
+//! same decisions as the original insert-recompute-rollback loop.
+//!
+//! This is the contract the analysis rewrite rests on: the bitset sweeps and
+//! the incremental ASAP/ALAP tightening are pure speedups, pinned
+//! observation-equivalent to the original implementation.  Control-edge
+//! *ids* are deliberately not compared — the incremental path only inserts
+//! edges for accepted multiplexors and therefore draws different ids from
+//! the graph's free list; everything observable (schedules, acceptance,
+//! shut-down sets, savings) must match exactly.
+
+use gen::{Family, GenSpec};
+use pmsched::{naive, ConeWorkspace, MuxCones, PowerManagementOptions};
+use proptest::prelude::*;
+
+/// Builds the spec for one generated circuit of the given family with
+/// family-appropriate size knobs.
+fn spec_for(family: Family, seed: u64, size: u8) -> GenSpec {
+    let mut spec = GenSpec::new(family, seed, 1);
+    match family {
+        Family::RandomDag => {
+            spec.width = 4 + u32::from(size % 3) * 4; // 4, 8 or 12
+            spec.depth = 6 + u32::from(size / 3) * 6; // 6, 12 or 18
+            spec.mux_permille = 250;
+        }
+        Family::MuxTree => spec.depth = 3 + u32::from(size % 4), // 3..=6
+        Family::DspChain => spec.taps = 4 + u32::from(size % 5) * 4, // 4..=20
+        Family::Cordic => spec.iters = 3 + u32::from(size % 6),  // 3..=8
+    }
+    spec
+}
+
+fn family_strategy() -> impl Strategy<Value = Family> {
+    prop_oneof![
+        Just(Family::RandomDag),
+        Just(Family::MuxTree),
+        Just(Family::DspChain),
+        Just(Family::Cordic),
+    ]
+}
+
+/// Asserts decision equivalence of the incremental and naive selection
+/// loops on one circuit at one latency (everything except control-edge ids).
+fn assert_power_manage_identity(cdfg: &cdfg::Cdfg, options: &PowerManagementOptions, name: &str) {
+    let fast = pmsched::power_manage(cdfg, options).expect("feasible budget");
+    let slow = naive::power_manage(cdfg, options).expect("feasible budget");
+    assert_eq!(fast.schedule(), slow.schedule(), "{name}: schedules diverged");
+    assert_eq!(fast.baseline_schedule(), slow.baseline_schedule(), "{name}: baselines diverged");
+    assert_eq!(fast.managed_muxes().len(), slow.managed_muxes().len(), "{name}: mux counts");
+    for (f, s) in fast.managed_muxes().iter().zip(slow.managed_muxes()) {
+        assert_eq!(f.mux, s.mux, "{name}: mux order diverged");
+        assert_eq!(f.accepted, s.accepted, "{name}: acceptance of {} diverged", f.mux);
+        assert_eq!(f.select_driver, s.select_driver, "{name}: select driver of {}", f.mux);
+        assert_eq!(f.shutdown_false, s.shutdown_false, "{name}: shutdown_false of {}", f.mux);
+        assert_eq!(f.shutdown_true, s.shutdown_true, "{name}: shutdown_true of {}", f.mux);
+    }
+    assert_eq!(
+        fast.savings().reduction_percent,
+        slow.savings().reduction_percent,
+        "{name}: savings must be bit-identical"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// The bitset cone analysis and the naive reference agree exactly —
+    /// same cones and shut-down sets per multiplexor — across families,
+    /// seeds and sizes, with one shared workspace serving every mux.
+    #[test]
+    fn bitset_cones_equal_naive_reference(
+        family in family_strategy(),
+        seed in 0u64..1000,
+        size in 0u8..9,
+    ) {
+        let spec = spec_for(family, seed, size);
+        let bench = gen::generate_one(&spec, 0).expect("generator produces valid circuits");
+        let mut ws = ConeWorkspace::new();
+        ws.prepare(&bench.cdfg);
+        for mux in bench.cdfg.mux_nodes() {
+            let fast = MuxCones::analyze_with(&bench.cdfg, mux, &mut ws);
+            let slow = naive::analyze(&bench.cdfg, mux);
+            prop_assert_eq!(&fast, &slow, "cones diverged on {} mux {}", bench.name, mux);
+        }
+    }
+
+    /// The incremental selection loop (ancestor-set cycle check, ASAP/ALAP
+    /// tightening, deferred edge insertion) reaches the same decisions as
+    /// the original loop on every generated circuit.
+    #[test]
+    fn incremental_selection_equals_naive_reference(
+        family in family_strategy(),
+        seed in 0u64..500,
+        size in 0u8..9,
+        slack in 0u32..4,
+    ) {
+        let spec = spec_for(family, seed, size);
+        let bench = gen::generate_one(&spec, 0).expect("generator produces valid circuits");
+        let latency = bench.cdfg.critical_path_length().max(1) + slack;
+        let options = PowerManagementOptions::with_latency(latency);
+        assert_power_manage_identity(&bench.cdfg, &options, bench.name.as_str());
+    }
+}
+
+/// Every paper circuit at every Table II budget: same decisions.
+#[test]
+fn paper_circuits_power_manage_identically() {
+    for bench in circuits::all_benchmarks() {
+        for &steps in &bench.control_steps {
+            let options = PowerManagementOptions::with_latency(steps);
+            assert_power_manage_identity(&bench.cdfg, &options, &bench.name);
+        }
+    }
+}
+
+/// A denser budget walk over one mid-sized circuit per family.
+#[test]
+fn budget_walk_identity_per_family() {
+    for family in Family::ALL {
+        let spec = spec_for(family, 20260729, 4);
+        let bench = gen::generate_one(&spec, 0).expect("valid circuit");
+        let cp = bench.cdfg.critical_path_length().max(1);
+        for latency in cp..=cp + 5 {
+            let options = PowerManagementOptions::with_latency(latency);
+            assert_power_manage_identity(&bench.cdfg, &options, bench.name.as_str());
+        }
+    }
+}

@@ -62,4 +62,4 @@ pub mod timing;
 pub use crate::error::ScheduleError;
 pub use crate::resource::{ResourceConstraint, ResourceSet};
 pub use crate::schedule::Schedule;
-pub use crate::timing::Timing;
+pub use crate::timing::{Timing, TimingDelta};

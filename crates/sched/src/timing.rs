@@ -18,7 +18,18 @@
 //! bounds-checked load, and [`Timing::compute_into`] lets callers reuse the
 //! two buffers across recomputations instead of reallocating.
 
-use cdfg::{Cdfg, NodeId};
+use cdfg::{Cdfg, NodeId, Slices};
+
+/// Reusable scratch state for [`Timing::tighten`]: the undo log that lets a
+/// failed tightening restore the previous fixed point, and the relaxation
+/// worklist.  Create one with `TimingDelta::default()` and reuse it across
+/// calls — the buffers grow once and are then recycled.
+#[derive(Debug, Clone, Default)]
+pub struct TimingDelta {
+    asap_log: Vec<(u32, u32)>,
+    alap_log: Vec<(u32, u32)>,
+    worklist: Vec<NodeId>,
+}
 
 /// ASAP and ALAP step assignments for every functional node of a CDFG under
 /// a given latency (number of control steps).
@@ -100,6 +111,128 @@ impl Timing {
     /// The latency (number of control steps) this analysis was computed for.
     pub fn latency(&self) -> u32 {
         self.latency
+    }
+
+    /// Incrementally tightens a *feasible fixed-point* analysis with extra
+    /// precedence edges that are about to be added to the graph, without
+    /// recomputing from scratch.
+    ///
+    /// `self` must hold the result of [`Timing::compute_into`] for `cdfg` as
+    /// it currently is (the edges of `extra` not yet inserted), and that
+    /// state must be feasible.  Each `(before, after)` pair of `extra` must
+    /// connect functional nodes and must not close a cycle — in particular no
+    /// `before` may be reachable from any `after`.  Under those conditions a
+    /// seeded worklist relaxation from the edge endpoints converges to
+    /// exactly the values a full recomputation over the extended graph would
+    /// produce: ASAP increases propagate forward from the destinations, ALAP
+    /// decreases propagate backward from the sources, and no other node can
+    /// change.
+    ///
+    /// Returns `true` when the tightened analysis is still feasible; the
+    /// buffers then hold the new fixed point.  Returns `false` when some
+    /// node's ASAP would exceed its ALAP; the analysis is restored to its
+    /// state before the call (the relaxation stops at the first violation —
+    /// violations only ever appear at nodes the new edges actually moved).
+    ///
+    /// `delta` is caller-provided scratch (undo log and worklist) so repeated
+    /// calls are allocation-free once its buffers have grown.
+    pub fn tighten(
+        &mut self,
+        cdfg: &Cdfg,
+        extra: &[(NodeId, NodeId)],
+        delta: &mut TimingDelta,
+    ) -> bool {
+        let slices = cdfg.slices();
+        debug_assert_eq!(self.asap.len(), slices.slot_count(), "analysis matches this graph");
+        delta.asap_log.clear();
+        delta.alap_log.clear();
+        delta.worklist.clear();
+
+        let ok = self.raise_asap(slices, extra, delta) && self.lower_alap(slices, extra, delta);
+        if !ok {
+            // Replay the undo logs in reverse so a slot recorded twice ends
+            // on its original value.
+            for &(slot, old) in delta.asap_log.iter().rev() {
+                self.asap[slot as usize] = old;
+            }
+            for &(slot, old) in delta.alap_log.iter().rev() {
+                self.alap[slot as usize] = old;
+            }
+            delta.worklist.clear();
+        }
+        ok
+    }
+
+    /// Forward half of [`Timing::tighten`]: ASAP increases from the new edge
+    /// destinations.  Returns `false` at the first node whose raised ASAP
+    /// exceeds its (current) ALAP — that violation survives to the final
+    /// fixed point because ASAP only rises and ALAP only falls.
+    fn raise_asap(
+        &mut self,
+        slices: &Slices,
+        extra: &[(NodeId, NodeId)],
+        delta: &mut TimingDelta,
+    ) -> bool {
+        for &(before, after) in extra {
+            let cand = self.asap[before.index()] + 1;
+            if cand > self.asap[after.index()] {
+                delta.asap_log.push((after.index() as u32, self.asap[after.index()]));
+                self.asap[after.index()] = cand;
+                if cand > self.alap[after.index()] {
+                    return false;
+                }
+                delta.worklist.push(after);
+            }
+        }
+        while let Some(n) = delta.worklist.pop() {
+            let cand = self.asap[n.index()] + 1;
+            for &s in slices.succs(n) {
+                if slices.is_functional(s) && cand > self.asap[s.index()] {
+                    delta.asap_log.push((s.index() as u32, self.asap[s.index()]));
+                    self.asap[s.index()] = cand;
+                    if cand > self.alap[s.index()] {
+                        return false;
+                    }
+                    delta.worklist.push(s);
+                }
+            }
+        }
+        true
+    }
+
+    /// Backward half of [`Timing::tighten`]: ALAP decreases from the new
+    /// edge sources.
+    fn lower_alap(
+        &mut self,
+        slices: &Slices,
+        extra: &[(NodeId, NodeId)],
+        delta: &mut TimingDelta,
+    ) -> bool {
+        for &(before, after) in extra {
+            let cand = self.alap[after.index()].saturating_sub(1);
+            if cand < self.alap[before.index()] {
+                delta.alap_log.push((before.index() as u32, self.alap[before.index()]));
+                self.alap[before.index()] = cand;
+                if self.asap[before.index()] > cand {
+                    return false;
+                }
+                delta.worklist.push(before);
+            }
+        }
+        while let Some(n) = delta.worklist.pop() {
+            let cand = self.alap[n.index()].saturating_sub(1);
+            for &p in slices.preds(n) {
+                if slices.is_functional(p) && cand < self.alap[p.index()] {
+                    delta.alap_log.push((p.index() as u32, self.alap[p.index()]));
+                    self.alap[p.index()] = cand;
+                    if self.asap[p.index()] > cand {
+                        return false;
+                    }
+                    delta.worklist.push(p);
+                }
+            }
+        }
+        true
     }
 
     /// ASAP step of `node` (0 for structural nodes).
@@ -259,6 +392,74 @@ mod tests {
         let (g, ..) = abs_diff();
         let t = Timing::compute(&g, 10);
         assert_eq!(t.min_latency(), g.critical_path_length());
+    }
+
+    #[test]
+    fn tighten_matches_full_recomputation_when_feasible() {
+        let (mut g, gt, amb, bma, _) = abs_diff();
+        for latency in 3..6 {
+            let mut t = Timing::compute(&g, latency);
+            let mut delta = TimingDelta::default();
+            // The edges the power manager would tentatively add for the mux.
+            let extra = [(gt, amb), (gt, bma)];
+            assert!(t.tighten(&g, &extra, &mut delta), "latency {latency} stays feasible");
+            let mut h = g.clone();
+            h.add_control_edge(gt, amb).unwrap();
+            h.add_control_edge(gt, bma).unwrap();
+            assert_eq!(t, Timing::compute(&h, latency), "fixed point at latency {latency}");
+        }
+        // Re-tightening an already-tightened analysis (edges now physically
+        // present) is a no-op that stays at the same fixed point.
+        g.add_control_edge(gt, amb).unwrap();
+        g.add_control_edge(gt, bma).unwrap();
+        let mut t = Timing::compute(&g, 3);
+        let before = t.clone();
+        let mut delta = TimingDelta::default();
+        assert!(t.tighten(&g, &[(gt, amb)], &mut delta));
+        assert_eq!(t, before);
+    }
+
+    #[test]
+    fn tighten_restores_state_on_infeasibility() {
+        let (g, gt, amb, bma, _) = abs_diff();
+        // Two steps cannot hold the comparator -> subtraction -> mux chain.
+        let mut t = Timing::compute(&g, 2);
+        assert!(t.is_feasible());
+        let before = t.clone();
+        let mut delta = TimingDelta::default();
+        assert!(!t.tighten(&g, &[(gt, amb), (gt, bma)], &mut delta));
+        assert_eq!(t, before, "failed tightening leaves the analysis untouched");
+        // The same delta buffer is reusable for a successful call afterwards.
+        let mut t3 = Timing::compute(&g, 3);
+        assert!(t3.tighten(&g, &[(gt, amb), (gt, bma)], &mut delta));
+    }
+
+    #[test]
+    fn tighten_chains_across_accepted_edges() {
+        // Accepting edges one batch at a time keeps the analysis at the fixed
+        // point of the growing graph: the shape of the per-mux loop.
+        let mut g = Cdfg::new("chain");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let c1 = g.add_op(Op::Gt, &[a, b]).unwrap();
+        let c2 = g.add_op(Op::Lt, &[a, b]).unwrap();
+        let s1 = g.add_op(Op::Sub, &[a, b]).unwrap();
+        let s2 = g.add_op(Op::Add, &[a, b]).unwrap();
+        let m1 = g.add_mux(c1, s1, s2).unwrap();
+        let s3 = g.add_op(Op::Mul, &[m1, b]).unwrap();
+        let m2 = g.add_mux(c2, s3, m1).unwrap();
+        g.add_output("o", m2).unwrap();
+
+        let latency = 6;
+        let mut t = Timing::compute(&g, latency);
+        let mut delta = TimingDelta::default();
+        assert!(t.tighten(&g, &[(c1, s1), (c1, s2)], &mut delta));
+        g.add_control_edge(c1, s1).unwrap();
+        g.add_control_edge(c1, s2).unwrap();
+        assert_eq!(t, Timing::compute(&g, latency), "fixed point after first batch");
+        assert!(t.tighten(&g, &[(c2, s3)], &mut delta));
+        g.add_control_edge(c2, s3).unwrap();
+        assert_eq!(t, Timing::compute(&g, latency), "fixed point after second batch");
     }
 
     #[test]
