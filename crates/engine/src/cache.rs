@@ -29,6 +29,28 @@ impl CacheStats {
     pub fn lookups(&self) -> u64 {
         self.hits + self.misses
     }
+
+    /// Hits as a fraction of lookups, in `0.0..=1.0` (`0.0` when idle).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
+
+    /// The delta since `baseline` — the counters attributable to whatever
+    /// ran between the two snapshots.  `hits`/`misses` subtract
+    /// (saturating, so a swapped argument order degrades to zeros rather
+    /// than wrapping); `entries` stays absolute, since entries persist
+    /// across jobs by design.
+    pub fn since(self, baseline: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(baseline.hits),
+            misses: self.misses.saturating_sub(baseline.misses),
+            entries: self.entries,
+        }
+    }
 }
 
 /// A thread-safe map from keys to lazily computed, shared values.
@@ -111,6 +133,22 @@ mod tests {
         assert_eq!(cache.get_or_compute("a", || 1), 1);
         assert_eq!(cache.get_or_compute("b", || 2), 2);
         assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn since_isolates_one_jobs_counters() {
+        let cache: MemoCache<u32, u32> = MemoCache::new();
+        cache.get_or_compute(1, || 10);
+        cache.get_or_compute(1, || 10);
+        let baseline = cache.stats();
+        cache.get_or_compute(1, || 10);
+        cache.get_or_compute(2, || 20);
+        let delta = cache.stats().since(baseline);
+        assert_eq!(delta, CacheStats { hits: 1, misses: 1, entries: 2 });
+        assert_eq!(delta.hit_rate(), 0.5);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+        // Swapped arguments saturate instead of wrapping.
+        assert_eq!(baseline.since(cache.stats()).hits, 0);
     }
 
     #[test]

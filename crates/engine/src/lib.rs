@@ -64,7 +64,8 @@ pub mod report;
 pub mod scenario;
 
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::Arc;
+use std::sync::atomic::AtomicBool;
+use std::sync::{Arc, Mutex};
 
 use cdfg::{Cdfg, OpClass};
 use pmsched::{
@@ -89,6 +90,20 @@ pub use crate::scenario::{BranchModel, Scenario, SchedulerKind};
 /// Permutation bound for the reordering search (matches the exhaustive
 /// limit the Section IV-A ablation uses).
 const REORDER_EXHAUSTIVE_LIMIT: usize = 5;
+
+/// Progress of a running sweep or exploration: work items completed out of
+/// the total the (expanded) plan contains.
+///
+/// For [`Engine::run_with_progress`] an item is one scenario (failed
+/// scenarios count too — they are part of the plan); for
+/// [`Engine::explore_controlled`] an item is one circuit walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Progress {
+    /// Items finished so far.
+    pub completed: usize,
+    /// Total items in the expanded plan.
+    pub total: usize,
+}
 
 /// Cache key of a pipeline prefix; see the crate-level documentation.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -161,20 +176,75 @@ impl Engine {
     /// errors) are recorded per scenario, never panicking or aborting the
     /// sweep, and the report is identical for every thread count.
     pub fn run(&self, plan: &SweepPlan, threads: usize) -> SweepReport {
+        self.run_controlled(plan, threads, None, None)
+            .expect("a run without a cancel flag cannot be cancelled")
+    }
+
+    /// [`Engine::run`] with a progress callback: `progress` is invoked once
+    /// per completed scenario with monotonically increasing completed
+    /// counts covering `1..=total` (failed scenarios count — they are part
+    /// of the plan).  The report is identical to a plain [`Engine::run`].
+    pub fn run_with_progress<F>(
+        &self,
+        plan: &SweepPlan,
+        threads: usize,
+        progress: &mut F,
+    ) -> SweepReport
+    where
+        F: FnMut(Progress) + Send,
+    {
+        // Workers tick concurrently; the mutex serialises them into the
+        // caller's FnMut.
+        let progress = Mutex::new(progress);
+        let forward = |p: Progress| (progress.lock().expect("progress lock"))(p);
+        self.run_controlled(plan, threads, None, Some(&forward))
+            .expect("a run without a cancel flag cannot be cancelled")
+    }
+
+    /// [`Engine::run`] with cooperative cancellation and progress hooks —
+    /// the entry point long-running services drive.
+    ///
+    /// `cancel` is checked at scenario boundaries: once set, no further
+    /// scenario starts (in-flight scenarios complete) and the run returns
+    /// `None`, discarding the partial results.  An uncancelled run returns
+    /// `Some(report)` bit-identical to a plain [`Engine::run`] — the hooks
+    /// observe the sweep, they never alter it.
+    pub fn run_controlled(
+        &self,
+        plan: &SweepPlan,
+        threads: usize,
+        cancel: Option<&AtomicBool>,
+        progress: Option<&(dyn Fn(Progress) + Sync)>,
+    ) -> Option<SweepReport> {
         let threads = if threads == 0 {
             std::thread::available_parallelism().map_or(1, usize::from)
         } else {
             threads
         };
         let gate = plan.gate_level();
-        let records = pool::parallel_map(self.expand_scenarios(plan), threads, &|scenario| {
-            self.run_scenario(scenario, gate)
-        });
+        let forward;
+        let ctl = pool::MapControl {
+            cancel,
+            progress: match progress {
+                Some(tick) => {
+                    forward =
+                        move |completed: usize, total: usize| tick(Progress { completed, total });
+                    Some(&forward as &(dyn Fn(usize, usize) + Sync))
+                }
+                None => None,
+            },
+        };
+        let records = pool::parallel_map_controlled(
+            self.expand_scenarios(plan),
+            threads,
+            &|scenario| self.run_scenario(scenario, gate),
+            ctl,
+        )?;
         let report = SweepReport::from_records(records);
-        match plan.budget_policy() {
+        Some(match plan.budget_policy() {
             BudgetPolicy::Fixed | BudgetPolicy::FullRange => report,
             BudgetPolicy::Pareto => report.retain_pareto_front(),
-        }
+        })
     }
 
     /// Expands a plan's scenarios according to its budget policy: under the
@@ -400,6 +470,77 @@ mod tests {
         engine.run(&pipelined, 1);
         let stats = engine.cache_stats();
         assert_eq!(stats.misses, 1, "latency 3 x depth 2 reuses the latency-6 prefix");
+    }
+
+    #[test]
+    fn run_with_progress_ticks_once_per_scenario() {
+        let plan = SweepPlan::builder()
+            .circuits(["dealer", "gcd"])
+            .latencies([5, 6])
+            .reorder([false, true])
+            .build()
+            .unwrap();
+        let engine = Engine::new();
+        for threads in [1, 3] {
+            let mut ticks = Vec::new();
+            let report = engine.run_with_progress(&plan, threads, &mut |p: Progress| {
+                ticks.push(p);
+            });
+            assert_eq!(report.records.len(), 8);
+            assert_eq!(ticks.len(), 8, "one callback per scenario (threads={threads})");
+            assert!(ticks.iter().all(|p| p.total == 8));
+            let mut completed: Vec<usize> = ticks.iter().map(|p| p.completed).collect();
+            completed.sort_unstable();
+            assert_eq!(completed, (1..=8).collect::<Vec<_>>());
+            // And the report matches the hook-free path exactly.
+            assert_eq!(report.to_json(), engine.run(&plan, 1).to_json());
+        }
+    }
+
+    #[test]
+    fn progress_counts_failed_scenarios_too() {
+        let plan = SweepPlan::builder().case("nonexistent", 4).case("dealer", 6).build().unwrap();
+        let engine = Engine::new();
+        let mut ticks = 0usize;
+        let report = engine.run_with_progress(&plan, 1, &mut |_| ticks += 1);
+        assert_eq!(report.failure_count(), 1);
+        assert_eq!(ticks, 2);
+    }
+
+    #[test]
+    fn cancelled_run_returns_none_and_a_clear_flag_changes_nothing() {
+        use std::sync::atomic::Ordering;
+        let plan =
+            SweepPlan::builder().circuits(["dealer", "gcd"]).latencies([5, 6]).build().unwrap();
+        let engine = Engine::new();
+        let cancel = AtomicBool::new(true);
+        assert!(engine.run_controlled(&plan, 2, Some(&cancel), None).is_none());
+        cancel.store(false, Ordering::SeqCst);
+        let controlled = engine.run_controlled(&plan, 2, Some(&cancel), None).unwrap();
+        assert_eq!(controlled.to_json(), engine.run(&plan, 1).to_json());
+    }
+
+    #[test]
+    fn cancelling_mid_run_stops_at_a_scenario_boundary() {
+        use std::sync::atomic::Ordering;
+        let plan = SweepPlan::builder()
+            .circuits(["dealer", "gcd", "vender"])
+            .latencies([5, 6, 7])
+            .build()
+            .unwrap();
+        let engine = Engine::new();
+        let cancel = AtomicBool::new(false);
+        let seen = std::sync::atomic::AtomicUsize::new(0);
+        let tick = |p: Progress| {
+            seen.fetch_max(p.completed, Ordering::SeqCst);
+            if p.completed >= 2 {
+                cancel.store(true, Ordering::SeqCst);
+            }
+        };
+        let out = engine.run_controlled(&plan, 1, Some(&cancel), Some(&tick));
+        assert!(out.is_none(), "cancellation discards the partial run");
+        let seen = seen.load(Ordering::SeqCst);
+        assert!((2..9).contains(&seen), "stopped after the boundary tick, before the end: {seen}");
     }
 
     #[test]

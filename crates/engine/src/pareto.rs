@@ -395,20 +395,55 @@ impl Engine {
         options: &ExploreOptions,
         threads: usize,
     ) -> ParetoReport {
+        self.explore_controlled(requests, options, threads, None, None)
+            .expect("an exploration without a cancel flag cannot be cancelled")
+    }
+
+    /// [`Engine::explore`] with cooperative cancellation and progress hooks
+    /// (the service entry point, mirroring [`Engine::run_controlled`]).
+    ///
+    /// One progress item is one circuit walk.  `cancel` is checked at
+    /// circuit boundaries: once set, no further circuit starts and the
+    /// exploration returns `None`; an uncancelled exploration returns a
+    /// report bit-identical to [`Engine::explore`]'s.
+    pub fn explore_controlled(
+        &self,
+        requests: &[ExploreRequest],
+        options: &ExploreOptions,
+        threads: usize,
+        cancel: Option<&std::sync::atomic::AtomicBool>,
+        progress: Option<&(dyn Fn(crate::Progress) + Sync)>,
+    ) -> Option<ParetoReport> {
         let threads = if threads == 0 {
             std::thread::available_parallelism().map_or(1, usize::from)
         } else {
             threads
         };
-        let circuits = pool::parallel_map(requests.to_vec(), threads, &|request| {
-            explore_circuit(self, &request, options)
-        });
-        ParetoReport {
+        let forward;
+        let ctl = pool::MapControl {
+            cancel,
+            progress: match progress {
+                Some(tick) => {
+                    forward = move |completed: usize, total: usize| {
+                        tick(crate::Progress { completed, total })
+                    };
+                    Some(&forward as &(dyn Fn(usize, usize) + Sync))
+                }
+                None => None,
+            },
+        };
+        let circuits = pool::parallel_map_controlled(
+            requests.to_vec(),
+            threads,
+            &|request| explore_circuit(self, &request, options),
+            ctl,
+        )?;
+        Some(ParetoReport {
             policy: options.policy,
             scaling: options.scaling,
             branch_model: options.branch_model,
             circuits,
-        }
+        })
     }
 }
 

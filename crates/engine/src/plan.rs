@@ -71,6 +71,7 @@ impl SweepPlan {
 #[derive(Debug, Clone, Default)]
 pub struct SweepPlanBuilder {
     cases: Vec<(String, u32)>,
+    explicit: Vec<Scenario>,
     circuits: Vec<String>,
     latencies: Vec<u32>,
     schedulers: Vec<SchedulerKind>,
@@ -85,6 +86,16 @@ impl SweepPlanBuilder {
     /// Adds one explicit (circuit, latency) base case.
     pub fn case(mut self, circuit: impl Into<String>, latency: u32) -> Self {
         self.cases.push((circuit.into(), latency));
+        self
+    }
+
+    /// Adds fully specified scenarios verbatim, bypassing the cross-product
+    /// expansion.  They are validated, deduplicated and sorted together with
+    /// the expanded matrix — the sweep service uses this to reconstruct a
+    /// plan from an explicit wire-format scenario list and still land on the
+    /// same canonical plan an in-process builder produces.
+    pub fn scenarios<I: IntoIterator<Item = Scenario>>(mut self, scenarios: I) -> Self {
+        self.explicit.extend(scenarios);
         self
     }
 
@@ -158,11 +169,16 @@ impl SweepPlanBuilder {
                 base.push((circuit.clone(), latency));
             }
         }
-        if base.is_empty() {
+        if base.is_empty() && self.explicit.is_empty() {
             return Err(EngineError::EmptyPlan);
         }
-        if base.iter().any(|&(_, latency)| latency == 0) {
+        if base.iter().any(|&(_, latency)| latency == 0)
+            || self.explicit.iter().any(|scenario| scenario.latency == 0)
+        {
             return Err(EngineError::InvalidLatency);
+        }
+        if self.explicit.iter().any(|scenario| scenario.pipeline_depth == 0) {
+            return Err(EngineError::InvalidPipelineDepth);
         }
 
         let schedulers = if self.schedulers.is_empty() {
@@ -178,7 +194,7 @@ impl SweepPlanBuilder {
         let models =
             if self.models.is_empty() { vec![BranchModel::default()] } else { self.models };
 
-        let mut expanded: BTreeSet<Scenario> = BTreeSet::new();
+        let mut expanded: BTreeSet<Scenario> = self.explicit.into_iter().collect();
         for (circuit, latency) in &base {
             for &scheduler in &schedulers {
                 for &depth in &depths {
@@ -259,6 +275,48 @@ mod tests {
         let plan = SweepPlan::builder().case("dealer", 4).gate_level(100, 7).build().unwrap();
         assert_eq!(plan.gate_level(), Some(GateLevelSpec { samples: 100, seed: 7 }));
         assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn explicit_scenarios_round_trip_to_the_same_canonical_plan() {
+        // Building from a plan's own scenario list must reproduce the plan:
+        // this is the contract the sweep service's wire format relies on.
+        let expanded = SweepPlan::builder()
+            .circuits(["gcd", "dealer"])
+            .latencies([5, 4])
+            .schedulers([SchedulerKind::ForceDirected, SchedulerKind::List])
+            .reorder([false, true])
+            .build()
+            .unwrap();
+        let mut shuffled = expanded.scenarios().to_vec();
+        shuffled.reverse();
+        let rebuilt = SweepPlan::builder().scenarios(shuffled).build().unwrap();
+        assert_eq!(rebuilt, expanded);
+    }
+
+    #[test]
+    fn explicit_scenarios_merge_with_the_cross_product() {
+        let plan = SweepPlan::builder()
+            .case("dealer", 4)
+            .scenarios([
+                Scenario::new("gcd", 5).scheduler(SchedulerKind::List),
+                // Duplicate of the cross-product case: deduplicated away.
+                Scenario::new("dealer", 4),
+            ])
+            .build()
+            .unwrap();
+        assert_eq!(plan.len(), 2);
+    }
+
+    #[test]
+    fn explicit_scenarios_are_validated() {
+        let err = SweepPlan::builder().scenarios([Scenario::new("dealer", 0)]).build().unwrap_err();
+        assert_eq!(err, EngineError::InvalidLatency);
+        let err = SweepPlan::builder()
+            .scenarios([Scenario::new("dealer", 4).pipeline_depth(0)])
+            .build()
+            .unwrap_err();
+        assert_eq!(err, EngineError::InvalidPipelineDepth);
     }
 
     #[test]

@@ -17,8 +17,40 @@
 //! determinism tests pin down.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
+
+/// Cooperative controls threaded through [`parallel_map_controlled`]: an
+/// optional cancellation flag checked before each item and an optional
+/// progress callback invoked after each completed item.
+///
+/// Both hooks are observed at *item boundaries* only — an in-flight item
+/// always finishes — which is what lets callers cancel a sweep without ever
+/// tearing a scenario in half.
+#[derive(Clone, Copy, Default)]
+pub struct MapControl<'a> {
+    /// Checked before a worker picks up its next item; once set, no further
+    /// items start (in-flight items still complete).
+    pub cancel: Option<&'a AtomicBool>,
+    /// Called after each completed item with `(completed, total)`.  The
+    /// callback runs on whichever worker finished the item, so it must be
+    /// `Sync`; completed counts are unique and cover `1..=total` exactly
+    /// once on an uncancelled run.
+    pub progress: Option<&'a (dyn Fn(usize, usize) + Sync)>,
+}
+
+impl MapControl<'_> {
+    fn cancelled(&self) -> bool {
+        self.cancel.is_some_and(|flag| flag.load(Ordering::Relaxed))
+    }
+
+    fn tick(&self, completed: usize, total: usize) {
+        if let Some(progress) = self.progress {
+            progress(completed, total);
+        }
+    }
+}
 
 /// Applies `f` to every item on `threads` worker threads and returns the
 /// results in input order.
@@ -32,13 +64,45 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
+    parallel_map_controlled(items, threads, f, MapControl::default())
+        .expect("a map without a cancel flag cannot be cancelled")
+}
+
+/// [`parallel_map`] with cooperative cancellation and progress reporting.
+///
+/// Returns `None` when the control's cancel flag stopped the map before
+/// every item ran — the partial results are discarded, never reordered or
+/// padded.  A flag set after the last item started has no effect: the map
+/// still returns `Some` with the complete, input-ordered results.
+pub fn parallel_map_controlled<T, R, F>(
+    items: Vec<T>,
+    threads: usize,
+    f: &F,
+    ctl: MapControl<'_>,
+) -> Option<Vec<R>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
     let jobs = items.len();
     if jobs == 0 {
-        return Vec::new();
+        return Some(Vec::new());
     }
     let threads = threads.max(1).min(jobs);
     if threads == 1 {
-        return items.into_iter().map(f).collect();
+        if ctl.cancel.is_none() && ctl.progress.is_none() {
+            return Some(items.into_iter().map(f).collect());
+        }
+        let mut results = Vec::with_capacity(jobs);
+        for (done, item) in items.into_iter().enumerate() {
+            if ctl.cancelled() {
+                return None;
+            }
+            results.push(f(item));
+            ctl.tick(done + 1, jobs);
+        }
+        return Some(results);
     }
 
     // Deal jobs round-robin onto one deque per worker.
@@ -52,17 +116,24 @@ where
     // workers hand back their locally buffered results.
     let mut results: Vec<Option<R>> = Vec::with_capacity(jobs);
     results.resize_with(jobs, || None);
+    let completed = AtomicUsize::new(0);
 
     thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|worker| {
                 let queues = &queues;
+                let completed = &completed;
+                let ctl = &ctl;
                 scope.spawn(move || {
                     // Lock-free write path: results buffer locally until the
                     // worker runs out of jobs.
                     let mut local: Vec<(usize, R)> = Vec::new();
-                    while let Some((index, item)) = next_job(queues, worker) {
+                    while !ctl.cancelled() {
+                        let Some((index, item)) = next_job(queues, worker) else {
+                            break;
+                        };
                         local.push((index, f(item)));
+                        ctl.tick(completed.fetch_add(1, Ordering::Relaxed) + 1, jobs);
                     }
                     local
                 })
@@ -76,7 +147,13 @@ where
         }
     });
 
-    results.into_iter().map(|slot| slot.expect("every job ran")).collect()
+    // A cancelled map leaves holes; the hole check (not the flag) decides,
+    // so a flag raised after the final item started still yields a full,
+    // valid result set.
+    if results.iter().any(Option::is_none) {
+        return None;
+    }
+    Some(results.into_iter().map(|slot| slot.expect("every job ran")).collect())
 }
 
 /// Pops the next job: own deque front first, then steal from the back of
@@ -144,6 +221,87 @@ mod tests {
     fn zero_threads_is_clamped_to_one() {
         let out = parallel_map(vec![1, 2, 3], 0, &|x| x);
         assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn progress_ticks_cover_every_item_exactly_once() {
+        for threads in [1, 4] {
+            let seen = Mutex::new(Vec::new());
+            let tick = |done: usize, total: usize| {
+                assert_eq!(total, 20);
+                seen.lock().unwrap().push(done);
+            };
+            let ctl = MapControl { cancel: None, progress: Some(&tick) };
+            let out = parallel_map_controlled((0..20).collect::<Vec<u32>>(), threads, &|x| x, ctl)
+                .expect("not cancelled");
+            assert_eq!(out.len(), 20, "threads={threads}");
+            let mut ticks = seen.into_inner().unwrap();
+            ticks.sort_unstable();
+            assert_eq!(ticks, (1..=20).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn pre_set_cancel_flag_runs_nothing() {
+        let cancel = AtomicBool::new(true);
+        for threads in [1, 4] {
+            let counter = AtomicUsize::new(0);
+            let ctl = MapControl { cancel: Some(&cancel), progress: None };
+            let out = parallel_map_controlled(
+                (0..50).collect::<Vec<u32>>(),
+                threads,
+                &|x| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    x
+                },
+                ctl,
+            );
+            assert!(out.is_none(), "threads={threads}");
+            assert_eq!(counter.load(Ordering::SeqCst), 0, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn cancellation_stops_at_an_item_boundary() {
+        // Cancel from inside the third progress tick: no item is ever torn,
+        // and strictly fewer than all items run.
+        let cancel = AtomicBool::new(false);
+        let started = AtomicUsize::new(0);
+        let finished = AtomicUsize::new(0);
+        let tick = |done: usize, _total: usize| {
+            if done >= 3 {
+                cancel.store(true, Ordering::SeqCst);
+            }
+        };
+        let ctl = MapControl { cancel: Some(&cancel), progress: Some(&tick) };
+        let out = parallel_map_controlled(
+            (0..100).collect::<Vec<u32>>(),
+            2,
+            &|x| {
+                started.fetch_add(1, Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                finished.fetch_add(1, Ordering::SeqCst);
+                x
+            },
+            ctl,
+        );
+        assert!(out.is_none());
+        let (started, finished) = (started.load(Ordering::SeqCst), finished.load(Ordering::SeqCst));
+        assert_eq!(started, finished, "in-flight items always complete");
+        assert!(finished < 100, "cancellation skipped the tail");
+    }
+
+    #[test]
+    fn cancel_after_completion_still_returns_full_results() {
+        let cancel = AtomicBool::new(false);
+        let tick = |done: usize, total: usize| {
+            if done == total {
+                cancel.store(true, Ordering::SeqCst);
+            }
+        };
+        let ctl = MapControl { cancel: Some(&cancel), progress: Some(&tick) };
+        let out = parallel_map_controlled((0..8).collect::<Vec<u32>>(), 1, &|x| x * 2, ctl);
+        assert_eq!(out, Some((0..8).map(|x| x * 2).collect()));
     }
 
     #[test]

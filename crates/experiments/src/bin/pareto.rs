@@ -19,13 +19,17 @@
 //!   `full-range` keeps every point, `fixed` visits the paper budgets),
 //! * `--scaling` — scaled-delay energy law (default `quadratic`),
 //! * `--gen SPEC` (repeatable) — explore generated circuits instead of the
-//!   paper's four.
+//!   paper's four,
+//! * `--daemon SOCKET` — run the exploration as a job on a `sweepd` daemon
+//!   instead of in-process (requires `--json`; the printed report is
+//!   byte-identical to the in-process one).
 
 use std::process::exit;
 
-use engine::BudgetPolicy;
+use engine::{BudgetCeiling, BudgetPolicy, ExploreRequest};
 use gen::GenSpec;
 use power::DelayScaling;
+use service::{Client, JobSpec};
 
 enum Format {
     Pretty,
@@ -41,6 +45,7 @@ fn main() {
     let mut policy = BudgetPolicy::Pareto;
     let mut scaling = DelayScaling::Quadratic;
     let mut specs: Vec<GenSpec> = Vec::new();
+    let mut daemon: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -78,11 +83,23 @@ fn main() {
                     Err(e) => usage(&e.to_string()),
                 }
             }
+            "--daemon" => {
+                daemon = Some(args.next().unwrap_or_else(|| usage("--daemon needs a socket path")));
+            }
             other => usage(&format!("unknown argument `{other}`")),
         }
     }
 
     let span = span.unwrap_or(if small { 4 } else { 8 });
+
+    if let Some(socket) = daemon {
+        if !matches!(format, Format::Json) {
+            usage("--daemon requires --json (the daemon streams the JSON report verbatim)");
+        }
+        run_on_daemon(&socket, small, &specs, span, policy, scaling);
+        return;
+    }
+
     let options = experiments::pareto::default_options(span).policy(policy).scaling(scaling);
     let outcome = if specs.is_empty() {
         experiments::pareto::explore_paper(small, &options, threads)
@@ -110,10 +127,64 @@ fn main() {
     }
 }
 
+/// Submits the exploration as one fully explicit job to a running `sweepd`
+/// and prints the returned report verbatim — byte-identical to the
+/// in-process `--json` output.
+fn run_on_daemon(
+    socket: &str,
+    small: bool,
+    specs: &[GenSpec],
+    span: u32,
+    policy: BudgetPolicy,
+    scaling: DelayScaling,
+) {
+    let (gen, requests): (Vec<String>, Vec<ExploreRequest>) = if specs.is_empty() {
+        (Vec::new(), experiments::pareto::paper_requests(small))
+    } else {
+        if small {
+            usage("--small only applies to the paper circuits; size generated runs with count=");
+        }
+        let gen: Vec<String> = specs.iter().map(GenSpec::spec_string).collect();
+        match service::plans::gen_requests(&gen) {
+            Ok(requests) => (gen, requests),
+            Err(e) => usage(&e),
+        }
+    };
+    let spec = JobSpec::Explore {
+        gen,
+        requests,
+        policy,
+        ceiling: BudgetCeiling::CriticalPathPlus(span),
+        scaling,
+        branch_model: engine::BranchModel::Fair,
+    };
+    let outcome = Client::connect(socket)
+        .and_then(|mut client| client.submit_and_wait(spec))
+        .unwrap_or_else(|e| {
+            eprintln!("pareto exploration failed: {e}");
+            exit(1);
+        });
+    match (outcome.state, outcome.report) {
+        (service::JobState::Done, Some(report)) => {
+            print!("{report}");
+            if outcome.failures.unwrap_or(0) > 0 {
+                exit(1);
+            }
+        }
+        (state, _) => {
+            eprintln!(
+                "pareto exploration failed: daemon job ended {state}{}",
+                outcome.error.map_or_else(String::new, |e| format!(": {e}"))
+            );
+            exit(1);
+        }
+    }
+}
+
 fn usage(problem: &str) -> ! {
     eprintln!("pareto: {problem}");
     eprintln!(
-        "usage: pareto [--json|--csv] [--threads N] [--small] [--span N] \
+        "usage: pareto [--json|--csv] [--threads N] [--small] [--span N] [--daemon SOCKET] \
          [--policy fixed|full-range|pareto] [--scaling none|linear|quadratic] \
          [--gen family=<name>,seed=<s>,count=<n>]..."
     );

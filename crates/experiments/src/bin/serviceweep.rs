@@ -1,0 +1,66 @@
+//! Runs the sweep-service determinism smoke study: the paper matrix
+//! against an in-process daemon — cold, interleaved with a concurrent
+//! generated job, and warm — byte-compared with the in-process engine run.
+//!
+//! ```text
+//! cargo run --release -p experiments --bin serviceweep [-- --json]
+//!     [--threads N] [--small]
+//! ```
+//!
+//! Exits non-zero if any service-side report differs from the in-process
+//! baseline by even one byte, or if the warm re-submission missed the
+//! cache at all.
+
+use std::process::exit;
+
+fn main() {
+    let mut json = false;
+    let mut threads = 0usize;
+    let mut small = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--small" => small = true,
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--threads needs a positive integer"));
+            }
+            other => usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let outcome = match experiments::serviceweep::run_serviceweep(small, threads) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("serviceweep failed: {e}");
+            exit(1);
+        }
+    };
+
+    if json {
+        print!("{}", experiments::serviceweep::to_json(&outcome));
+    } else {
+        print!("{}", experiments::serviceweep::render(&outcome));
+    }
+    if !outcome.all_identical() {
+        eprintln!("serviceweep: a daemon report diverged from the in-process baseline");
+        exit(1);
+    }
+    if outcome.warm_cache.misses > 0 {
+        eprintln!(
+            "serviceweep: warm re-submission recomputed {} prefixes",
+            outcome.warm_cache.misses
+        );
+        exit(1);
+    }
+}
+
+fn usage(problem: &str) -> ! {
+    eprintln!("serviceweep: {problem}");
+    eprintln!("usage: serviceweep [--json] [--threads N] [--small]");
+    exit(2);
+}

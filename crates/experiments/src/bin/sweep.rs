@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! cargo run --release -p experiments --bin sweep [-- --json|--csv]
-//!     [--threads N] [--small]
+//!     [--threads N] [--small] [--daemon SOCKET]
 //!     [--gen family=<name>,seed=<s>,count=<n>[,knob=v...]]...
 //! ```
 //!
@@ -18,10 +18,15 @@
 //!   `dsp-chain` and `cordic`, and each spec can set `width=`, `depth=`,
 //!   `mux=` (permille), `taps=` and `iters=`.  Output is byte-identical
 //!   across runs and thread counts for fixed specs.
+//! * `--daemon SOCKET` — run the same matrix as a job on a `sweepd` daemon
+//!   instead of in-process (requires `--json`; the printed report is
+//!   byte-identical to the in-process one).
 
 use std::process::exit;
 
+use engine::Scenario;
 use gen::GenSpec;
+use service::{Client, JobSpec};
 
 enum Format {
     Pretty,
@@ -34,6 +39,7 @@ fn main() {
     let mut threads = 0usize;
     let mut small = false;
     let mut specs: Vec<GenSpec> = Vec::new();
+    let mut daemon: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -54,8 +60,19 @@ fn main() {
                     Err(e) => usage(&e.to_string()),
                 }
             }
+            "--daemon" => {
+                daemon = Some(args.next().unwrap_or_else(|| usage("--daemon needs a socket path")));
+            }
             other => usage(&format!("unknown argument `{other}`")),
         }
+    }
+
+    if let Some(socket) = daemon {
+        if !matches!(format, Format::Json) {
+            usage("--daemon requires --json (the daemon streams the JSON report verbatim)");
+        }
+        run_on_daemon(&socket, small, &specs);
+        return;
     }
 
     let outcome = if specs.is_empty() {
@@ -96,10 +113,55 @@ fn main() {
     }
 }
 
+/// Submits the matrix as one fully explicit job to a running `sweepd` and
+/// prints the returned report verbatim — byte-identical to the in-process
+/// `--json` output.
+fn run_on_daemon(socket: &str, small: bool, specs: &[GenSpec]) {
+    let (gen, scenarios): (Vec<String>, Vec<Scenario>) = if specs.is_empty() {
+        let plan = experiments::sweep::full_matrix_plan(small).unwrap_or_else(|e| {
+            eprintln!("sweep failed: {e}");
+            exit(1);
+        });
+        (Vec::new(), plan.scenarios().to_vec())
+    } else {
+        if small {
+            usage("--small only applies to the paper matrix; use --gen ...,count=N to size a generated run");
+        }
+        let gen: Vec<String> = specs.iter().map(GenSpec::spec_string).collect();
+        match service::plans::gen_scenarios(&gen) {
+            Ok(scenarios) => (gen, scenarios),
+            Err(e) => usage(&e),
+        }
+    };
+    let spec =
+        JobSpec::Sweep { gen, scenarios, policy: engine::BudgetPolicy::Fixed, gate_level: None };
+    let outcome = Client::connect(socket)
+        .and_then(|mut client| client.submit_and_wait(spec))
+        .unwrap_or_else(|e| {
+            eprintln!("sweep failed: {e}");
+            exit(1);
+        });
+    match (outcome.state, outcome.report) {
+        (service::JobState::Done, Some(report)) => {
+            print!("{report}");
+            if outcome.failures.unwrap_or(0) > 0 {
+                exit(1);
+            }
+        }
+        (state, _) => {
+            eprintln!(
+                "sweep failed: daemon job ended {state}{}",
+                outcome.error.map_or_else(String::new, |e| format!(": {e}"))
+            );
+            exit(1);
+        }
+    }
+}
+
 fn usage(problem: &str) -> ! {
     eprintln!("sweep: {problem}");
     eprintln!(
-        "usage: sweep [--json|--csv] [--threads N] [--small] \
+        "usage: sweep [--json|--csv] [--threads N] [--small] [--daemon SOCKET] \
          [--gen family=<name>,seed=<s>,count=<n>]..."
     );
     exit(2);

@@ -17,6 +17,7 @@
 //! | Full scenario matrix (all of the above dimensions at once) | [`sweep`] | `--bin sweep` |
 //! | Generated-workload distributions (beyond the paper) | [`genweep`] | `--bin genweep` |
 //! | Latency–power Pareto fronts over the full budget range (beyond the paper) | [`pareto`] | `--bin pareto` |
+//! | Sweep-service determinism smoke (beyond the paper) | [`serviceweep`] | `--bin serviceweep` |
 //!
 //! The `table1`, `table2`, `table3` and `sensitivity` binaries accept a
 //! `--json` flag that emits the engine's machine-readable report instead of
@@ -40,6 +41,7 @@ pub mod figures;
 pub mod genweep;
 pub mod pareto;
 pub mod sensitivity;
+pub mod serviceweep;
 pub mod sweep;
 pub mod table1;
 pub mod table2;

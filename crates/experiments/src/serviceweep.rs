@@ -1,0 +1,197 @@
+//! The `serviceweep` smoke study: the paper matrix through the sweep
+//! service, with the determinism contract checked end to end.
+//!
+//! The study starts an in-process `sweepd` daemon, runs the full scenario
+//! matrix three ways — against the cold daemon, interleaved with a
+//! concurrent generated-workload job, and as a warm re-submission — and
+//! byte-compares every report against the in-process [`engine::Engine::run`]
+//! baseline.  It also reports the warm job's cache hit rate: the service's
+//! reason to exist is that a warm job should pay only cache lookups.
+
+use std::fmt::Write as _;
+
+use engine::report::json_number;
+use engine::{CacheStats, Engine};
+use service::{Client, Daemon, DaemonConfig, JobSpec, JobState, ServiceError};
+
+use crate::ExperimentError;
+
+/// Everything the study measures.
+#[derive(Debug, Clone)]
+pub struct ServiceweepOutcome {
+    /// Scenarios in the paper matrix job.
+    pub scenarios: usize,
+    /// Bytes of the report JSON all four runs must agree on.
+    pub report_bytes: usize,
+    /// Cold daemon report == in-process report.
+    pub cold_identical: bool,
+    /// Report interleaved with a concurrent gen job == in-process report.
+    pub interleaved_identical: bool,
+    /// Warm re-submission report == in-process report.
+    pub warm_identical: bool,
+    /// The cold job's cache delta.
+    pub cold_cache: CacheStats,
+    /// The warm job's cache delta.
+    pub warm_cache: CacheStats,
+    /// The warm job's hit rate (1.0 = every prefix lookup hit).
+    pub warm_hit_rate: f64,
+    /// Scenarios in the interleaved generated job.
+    pub gen_scenarios: usize,
+}
+
+impl ServiceweepOutcome {
+    /// Whether every service-side report matched the in-process bytes.
+    pub fn all_identical(&self) -> bool {
+        self.cold_identical && self.interleaved_identical && self.warm_identical
+    }
+}
+
+fn service_err(e: ServiceError) -> ExperimentError {
+    ExperimentError { context: "sweep service".to_owned(), message: e.to_string() }
+}
+
+/// Runs the study (see the module docs).  `small` selects the CI smoke
+/// matrix; `threads` sizes the daemon's engine pool (0 = all cores).
+///
+/// # Errors
+///
+/// Propagates daemon startup and protocol failures; report *mismatches* are
+/// reported in the outcome, not as errors.
+pub fn run_serviceweep(small: bool, threads: usize) -> Result<ServiceweepOutcome, ExperimentError> {
+    let plan = crate::sweep::full_matrix_plan(small)?;
+    let scenarios = plan.scenarios().to_vec();
+    let engine = Engine::new();
+    let baseline = engine.run(&plan, threads).to_json();
+
+    let socket =
+        std::env::temp_dir().join(format!("serviceweep-{}-{small}.sock", std::process::id()));
+    let daemon =
+        Daemon::start(DaemonConfig { socket, threads, limits: Default::default() }).map_err(
+            |e| ExperimentError { context: "sweep service".to_owned(), message: e.to_string() },
+        )?;
+
+    let run_matrix = |socket: &std::path::Path| -> Result<service::JobOutcome, ServiceError> {
+        Client::connect(socket)?.submit_and_wait(JobSpec::sweep(scenarios.clone()))
+    };
+
+    let cold = run_matrix(daemon.socket()).map_err(service_err)?;
+
+    // Interleave a generated job with a second matrix submission: two
+    // clients race, the FIFO executor serializes, neither result may move.
+    let gen_spec = vec!["family=mux-tree,seed=11,count=6".to_owned()];
+    let gen_scenarios = service::plans::gen_scenarios(&gen_spec)
+        .map_err(|message| ExperimentError { context: "sweep service".to_owned(), message })?;
+    let gen_job = JobSpec::Sweep {
+        gen: gen_spec,
+        scenarios: gen_scenarios.clone(),
+        policy: engine::BudgetPolicy::Fixed,
+        gate_level: None,
+    };
+    let gen_thread = {
+        let socket = daemon.socket().to_path_buf();
+        std::thread::spawn(move || Client::connect(&socket)?.submit_and_wait(gen_job))
+    };
+    let interleaved = run_matrix(daemon.socket()).map_err(service_err)?;
+    let gen_outcome = gen_thread.join().expect("gen submitter thread").map_err(service_err)?;
+    if gen_outcome.state != JobState::Done {
+        return Err(ExperimentError {
+            context: "sweep service".to_owned(),
+            message: format!("interleaved gen job ended {}", gen_outcome.state),
+        });
+    }
+
+    let warm = run_matrix(daemon.socket()).map_err(service_err)?;
+
+    daemon.shutdown();
+    daemon.join();
+
+    let matches = |outcome: &service::JobOutcome| outcome.report.as_deref() == Some(&*baseline);
+    let warm_cache = warm.job_cache.unwrap_or_default();
+    Ok(ServiceweepOutcome {
+        scenarios: scenarios.len(),
+        report_bytes: baseline.len(),
+        cold_identical: matches(&cold),
+        interleaved_identical: matches(&interleaved),
+        warm_identical: matches(&warm),
+        cold_cache: cold.job_cache.unwrap_or_default(),
+        warm_cache,
+        warm_hit_rate: warm_cache.hit_rate(),
+        gen_scenarios: gen_scenarios.len(),
+    })
+}
+
+/// Renders the study summary.
+pub fn render(outcome: &ServiceweepOutcome) -> String {
+    let mut out = String::new();
+    let verdict = |same: bool| if same { "byte-identical" } else { "MISMATCH" };
+    let _ = writeln!(
+        out,
+        "paper matrix: {} scenarios, report {} bytes",
+        outcome.scenarios, outcome.report_bytes
+    );
+    let _ = writeln!(
+        out,
+        "cold daemon:        {} (cache: {} computed, {} reused)",
+        verdict(outcome.cold_identical),
+        outcome.cold_cache.misses,
+        outcome.cold_cache.hits
+    );
+    let _ = writeln!(
+        out,
+        "interleaved (+{} gen scenarios): {}",
+        outcome.gen_scenarios,
+        verdict(outcome.interleaved_identical)
+    );
+    let _ = writeln!(
+        out,
+        "warm re-submit:     {} (cache: {} computed, {} reused, hit rate {:.1}%)",
+        verdict(outcome.warm_identical),
+        outcome.warm_cache.misses,
+        outcome.warm_cache.hits,
+        outcome.warm_hit_rate * 100.0
+    );
+    out
+}
+
+/// Renders the study summary as JSON (stable key order).
+pub fn to_json(outcome: &ServiceweepOutcome) -> String {
+    format!(
+        "{{\n  \"scenarios\": {}, \"report_bytes\": {},\n  \"cold_identical\": {}, \
+         \"interleaved_identical\": {}, \"warm_identical\": {},\n  \"cold_cache\": {}, \
+         \"warm_cache\": {}, \"warm_hit_rate\": {},\n  \"gen_scenarios\": {}\n}}\n",
+        outcome.scenarios,
+        outcome.report_bytes,
+        outcome.cold_identical,
+        outcome.interleaved_identical,
+        outcome.warm_identical,
+        cache_json(outcome.cold_cache),
+        cache_json(outcome.warm_cache),
+        json_number(outcome.warm_hit_rate),
+        outcome.gen_scenarios,
+    )
+}
+
+fn cache_json(cache: CacheStats) -> String {
+    format!(
+        "{{\"hits\": {}, \"misses\": {}, \"entries\": {}}}",
+        cache.hits, cache.misses, cache.entries
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_study_reports_identity_and_a_fully_warm_cache() {
+        let outcome = run_serviceweep(true, 2).unwrap();
+        assert!(outcome.all_identical(), "{outcome:?}");
+        assert!(outcome.cold_cache.misses > 0, "cold job computes prefixes");
+        assert_eq!(outcome.warm_cache.misses, 0, "warm job misses nothing");
+        assert_eq!(outcome.warm_hit_rate, 1.0);
+        let text = render(&outcome);
+        assert!(text.contains("byte-identical"));
+        assert!(!text.contains("MISMATCH"));
+        assert!(to_json(&outcome).contains("\"warm_hit_rate\": 1"));
+    }
+}

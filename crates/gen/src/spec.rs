@@ -237,6 +237,24 @@ impl GenSpec {
     pub fn circuit_name(&self, index: usize) -> String {
         format!("{}-{index:04}", self.name_prefix())
     }
+
+    /// The lossless textual form: every knob spelled out, parseable back by
+    /// [`GenSpec::parse`] into an equal spec.  `Display` stays the compact
+    /// family/seed/count form for logs; this is the form to put on a wire
+    /// (the sweep service ships specs as these strings).
+    pub fn spec_string(&self) -> String {
+        format!(
+            "family={},seed={},count={},width={},depth={},mux={},taps={},iters={}",
+            self.family,
+            self.seed,
+            self.count,
+            self.width,
+            self.depth,
+            self.mux_permille,
+            self.taps,
+            self.iters
+        )
+    }
 }
 
 impl fmt::Display for GenSpec {
@@ -343,6 +361,22 @@ mod tests {
         assert_ne!(spec.circuit_name(0), other.circuit_name(0), "seed is part of the key");
         let wider = GenSpec::parse("family=random-dag,seed=42,count=2,width=7").unwrap();
         assert_ne!(spec.circuit_name(0), wider.circuit_name(0), "knobs are part of the key");
+    }
+
+    #[test]
+    fn spec_string_roundtrips_every_knob() {
+        for family in Family::ALL {
+            let mut spec = GenSpec::new(family, u64::MAX, 3);
+            spec.width = 9;
+            spec.mux_permille = 450;
+            spec.taps = 5;
+            let reparsed = GenSpec::parse(&spec.spec_string()).unwrap();
+            assert_eq!(reparsed, spec, "{}", spec.spec_string());
+        }
+        // Display stays compact (and lossy) — spec_string is the wire form.
+        let spec = GenSpec::parse("family=random-dag,seed=1,count=2,width=9").unwrap();
+        assert!(!spec.to_string().contains("width"));
+        assert!(spec.spec_string().contains("width=9"));
     }
 
     #[test]

@@ -1,0 +1,72 @@
+//! The sweep-service daemon.
+//!
+//! ```text
+//! cargo run --release -p service --bin sweepd -- --socket PATH
+//!     [--threads N] [--max-queue N] [--max-items N]
+//! ```
+//!
+//! Binds `PATH`, serves the newline-delimited-JSON protocol (see the
+//! `service` crate docs) and runs until a client sends `shutdown` (e.g.
+//! `sweepctl --socket PATH shutdown`).  One engine and its memo cache live
+//! for the daemon's whole lifetime, so repeated jobs get warm-cache
+//! latency.
+
+use std::path::PathBuf;
+use std::process::exit;
+
+use service::{AdmissionLimits, Daemon, DaemonConfig};
+
+fn main() {
+    let mut socket: Option<PathBuf> = None;
+    let mut threads = 0usize;
+    let mut limits = AdmissionLimits::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--socket" => {
+                socket = Some(PathBuf::from(
+                    args.next().unwrap_or_else(|| usage("--socket needs a path")),
+                ));
+            }
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--threads needs an integer"));
+            }
+            "--max-queue" => {
+                limits.max_queued = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--max-queue needs an integer"));
+            }
+            "--max-items" => {
+                limits.max_job_items = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--max-items needs an integer"));
+            }
+            other => usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    let Some(socket) = socket else { usage("--socket is required") };
+
+    let config = DaemonConfig { socket: socket.clone(), threads, limits };
+    let handle = match Daemon::start(config) {
+        Ok(handle) => handle,
+        Err(err) => {
+            eprintln!("sweepd: {err}");
+            exit(1);
+        }
+    };
+    println!("sweepd: listening on {}", socket.display());
+    handle.join();
+    println!("sweepd: shut down");
+}
+
+fn usage(problem: &str) -> ! {
+    eprintln!("sweepd: {problem}");
+    eprintln!("usage: sweepd --socket PATH [--threads N] [--max-queue N] [--max-items N]");
+    exit(2);
+}

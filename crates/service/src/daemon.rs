@@ -1,0 +1,502 @@
+//! The daemon: one engine, one executor, many connections.
+//!
+//! # Architecture
+//!
+//! ```text
+//!  clients ──(unix socket, NDJSON)──► accept thread ──► connection threads
+//!                                                            │ submit/status/cancel
+//!                                                            ▼
+//!                                        Mutex<JobTable> + Condvar
+//!                                                            │ FIFO claim
+//!                                                            ▼
+//!                                      single executor thread ──► RwLock<Engine>
+//! ```
+//!
+//! A **single executor thread** runs jobs strictly in submission order, one
+//! at a time.  That serialization is the determinism anchor: the shared
+//! prefix cache only ever grows, a job's cache *delta* is unambiguously its
+//! own, and interleaved submissions cannot reorder each other's scenario
+//! results (parallelism lives *inside* a job, in the engine's deterministic
+//! thread pool).
+//!
+//! Lock discipline: the engine lock is never acquired while holding the job
+//! table lock (connection threads read engine stats *before* touching the
+//! table; the executor runs jobs entirely outside the table lock), so the
+//! two locks never deadlock.
+
+use std::collections::BTreeSet;
+use std::io::{self, BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
+
+use engine::{Engine, ExploreOptions, Progress, SweepPlan};
+
+use crate::admission::AdmissionLimits;
+use crate::jobs::{CancelOutcome, ClaimedJob, JobState, JobTable};
+use crate::protocol::{Event, JobSpec, Request, Response};
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Path of the Unix socket to listen on.
+    pub socket: PathBuf,
+    /// Engine threads per job (0 = all available cores).
+    pub threads: usize,
+    /// Admission bounds.
+    pub limits: AdmissionLimits,
+}
+
+impl DaemonConfig {
+    /// A default-limits configuration listening on `socket`.
+    pub fn new(socket: impl Into<PathBuf>) -> Self {
+        DaemonConfig { socket: socket.into(), threads: 0, limits: AdmissionLimits::default() }
+    }
+}
+
+/// The sweep-service daemon.  See the module docs for the thread layout.
+pub struct Daemon;
+
+impl Daemon {
+    /// Binds the socket and starts the accept and executor threads.
+    ///
+    /// A stale socket file left by a crashed daemon is replaced; a socket
+    /// with a *live* daemon behind it is an error.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn start(config: DaemonConfig) -> io::Result<DaemonHandle> {
+        let listener = bind(&config.socket)?;
+        let shared = Arc::new(Shared {
+            engine: RwLock::new(Engine::new()),
+            registered: Mutex::new(BTreeSet::new()),
+            jobs: Mutex::new(JobTable::new()),
+            wake: Condvar::new(),
+            limits: config.limits,
+            threads: config.threads,
+            shutdown: AtomicBool::new(false),
+            socket: config.socket.clone(),
+        });
+
+        let executor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || executor_loop(&shared))
+        };
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&shared, listener))
+        };
+
+        Ok(DaemonHandle {
+            socket: config.socket,
+            shared,
+            acceptor: Some(acceptor),
+            executor: Some(executor),
+        })
+    }
+}
+
+/// Handle to a running daemon: shut it down and wait for it.
+pub struct DaemonHandle {
+    socket: PathBuf,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    executor: Option<JoinHandle<()>>,
+}
+
+impl DaemonHandle {
+    /// The socket the daemon listens on.
+    pub fn socket(&self) -> &Path {
+        &self.socket
+    }
+
+    /// Initiates shutdown, exactly as a wire `shutdown` request would:
+    /// queued jobs are cancelled (their submitters get a terminal event),
+    /// the running job's cancel flag is raised, and the accept loop exits.
+    pub fn shutdown(&self) {
+        self.shared.initiate_shutdown();
+    }
+
+    /// Waits for the accept and executor threads and removes the socket
+    /// file.  Call [`DaemonHandle::shutdown`] first (or send a wire
+    /// `shutdown`), or this blocks forever.
+    pub fn join(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        if let Some(executor) = self.executor.take() {
+            let _ = executor.join();
+        }
+        let _ = std::fs::remove_file(&self.socket);
+    }
+}
+
+struct Shared {
+    engine: RwLock<Engine>,
+    /// Generator spec strings whose circuits are already registered.
+    registered: Mutex<BTreeSet<String>>,
+    jobs: Mutex<JobTable>,
+    wake: Condvar,
+    limits: AdmissionLimits,
+    threads: usize,
+    shutdown: AtomicBool,
+    socket: PathBuf,
+}
+
+impl Shared {
+    fn initiate_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let cancelled = {
+            let mut jobs = self.jobs.lock().expect("jobs lock");
+            let cancelled = jobs.cancel_all_queued();
+            // Ask the running job (if any) to stop at its next boundary.
+            let running: Vec<u64> = jobs
+                .statuses()
+                .iter()
+                .filter(|s| s.state == JobState::Running)
+                .map(|s| s.id)
+                .collect();
+            for id in running {
+                jobs.cancel(id);
+            }
+            cancelled
+        };
+        for (id, events) in cancelled {
+            send_terminal(&events, cancelled_event(id));
+            self.jobs.lock().expect("jobs lock").finish(id, JobState::Cancelled, None, None, None);
+        }
+        self.wake.notify_all();
+        // Unblock the accept loop; the dummy connection is dropped there.
+        let _ = UnixStream::connect(&self.socket);
+    }
+}
+
+fn bind(socket: &Path) -> io::Result<UnixListener> {
+    match UnixListener::bind(socket) {
+        Ok(listener) => Ok(listener),
+        Err(err) if err.kind() == io::ErrorKind::AddrInUse => {
+            if UnixStream::connect(socket).is_ok() {
+                return Err(io::Error::new(
+                    io::ErrorKind::AddrInUse,
+                    format!("a daemon is already listening on {}", socket.display()),
+                ));
+            }
+            // Stale file from a crashed daemon: replace it.
+            std::fs::remove_file(socket)?;
+            UnixListener::bind(socket)
+        }
+        Err(err) => Err(err),
+    }
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: UnixListener) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let shared = Arc::clone(shared);
+                std::thread::spawn(move || handle_connection(&shared, stream));
+            }
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+fn handle_connection(shared: &Arc<Shared>, stream: UnixStream) {
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return,
+            Ok(_) => {}
+        }
+        let text = line.trim_end_matches(['\n', '\r']);
+        if text.is_empty() {
+            continue;
+        }
+        let request = match Request::parse(text) {
+            Ok(request) => request,
+            Err(detail) => {
+                if write_line(&mut writer, &Response::Error { detail }.to_line()).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        let keep_going = match request {
+            Request::Submit(spec) => handle_submit(shared, &mut writer, spec),
+            Request::Status { id } => {
+                let cache = shared.engine.read().expect("engine lock").cache_stats();
+                let status = shared.jobs.lock().expect("jobs lock").status(id);
+                let response = match status {
+                    Some(job) => Response::Status { cache, job },
+                    None => Response::Error { detail: format!("no job {id}") },
+                };
+                write_line(&mut writer, &response.to_line()).is_ok()
+            }
+            Request::List => {
+                let cache = shared.engine.read().expect("engine lock").cache_stats();
+                let jobs = shared.jobs.lock().expect("jobs lock").statuses();
+                write_line(&mut writer, &Response::Jobs { cache, jobs }.to_line()).is_ok()
+            }
+            Request::Cancel { id } => handle_cancel(shared, &mut writer, id),
+            Request::Shutdown => {
+                let _ = write_line(&mut writer, &Response::ShuttingDown.to_line());
+                shared.initiate_shutdown();
+                false
+            }
+        };
+        if !keep_going {
+            return;
+        }
+    }
+}
+
+fn handle_submit(shared: &Arc<Shared>, writer: &mut UnixStream, spec: JobSpec) -> bool {
+    let (id, receiver) = {
+        let mut jobs = shared.jobs.lock().expect("jobs lock");
+        let admitted = shared.limits.admit(
+            spec.size(),
+            jobs.queued_len(),
+            shared.shutdown.load(Ordering::SeqCst),
+        );
+        if let Err(rejection) = admitted {
+            drop(jobs);
+            return write_line(writer, &Response::Rejected(rejection).to_line()).is_ok();
+        }
+        let (sender, receiver) = std::sync::mpsc::channel();
+        let id = jobs.enqueue(spec, Some(sender));
+        (id, receiver)
+    };
+    shared.wake.notify_all();
+    if write_line(writer, &Response::Submitted { id }.to_line()).is_err() {
+        return false;
+    }
+    // Stream the job's events until its terminal event (or until every
+    // sender is gone, which only happens after the job finished).
+    while let Ok(event) = receiver.recv() {
+        let done = matches!(event, Event::Done { .. });
+        if write_line(writer, &event.to_line()).is_err() {
+            // Client went away; the job keeps running (cancel is explicit).
+            return false;
+        }
+        if done {
+            break;
+        }
+    }
+    true
+}
+
+fn handle_cancel(shared: &Arc<Shared>, writer: &mut UnixStream, id: u64) -> bool {
+    let outcome = shared.jobs.lock().expect("jobs lock").cancel(id);
+    let response = match outcome {
+        CancelOutcome::WasQueued(events) => {
+            send_terminal(&events, cancelled_event(id));
+            shared.jobs.lock().expect("jobs lock").finish(
+                id,
+                JobState::Cancelled,
+                None,
+                None,
+                None,
+            );
+            Response::Cancelled { id, state: JobState::Cancelled }
+        }
+        CancelOutcome::RunningFlagRaised => Response::Cancelled { id, state: JobState::Running },
+        CancelOutcome::AlreadyFinished(state) => Response::Cancelled { id, state },
+        CancelOutcome::Unknown => Response::Error { detail: format!("no job {id}") },
+    };
+    write_line(writer, &response.to_line()).is_ok()
+}
+
+fn executor_loop(shared: &Arc<Shared>) {
+    let mut jobs = shared.jobs.lock().expect("jobs lock");
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) && jobs.queued_len() == 0 {
+            return;
+        }
+        match jobs.claim_next() {
+            Some(claimed) => {
+                drop(jobs);
+                run_job(shared, claimed);
+                jobs = shared.jobs.lock().expect("jobs lock");
+            }
+            None => jobs = shared.wake.wait(jobs).expect("jobs lock"),
+        }
+    }
+}
+
+/// Runs one claimed job end to end: register its generated circuits, run
+/// it on the engine, stream records and the terminal event, record the
+/// outcome in the table.  Holds no job-table lock while running.
+fn run_job(shared: &Arc<Shared>, claimed: ClaimedJob) {
+    let ClaimedJob { id, spec, cancel, progress, events } = claimed;
+    if let Err(detail) = register_gen_circuits(shared, spec.gen_specs()) {
+        send_terminal(&events, failed_event(id, detail.clone()));
+        shared.jobs.lock().expect("jobs lock").finish(
+            id,
+            JobState::Failed,
+            None,
+            None,
+            Some(detail),
+        );
+        return;
+    }
+
+    // Progress ticks arrive concurrently from engine workers; fetch_max
+    // keeps the shared counter monotone.
+    let event_sender = events.clone().map(Mutex::new);
+    let on_progress = |p: Progress| {
+        progress.completed.fetch_max(p.completed, Ordering::Relaxed);
+        progress.total.fetch_max(p.total, Ordering::Relaxed);
+        if let Some(sender) = &event_sender {
+            let _ = sender.lock().expect("events lock").send(Event::Progress {
+                id,
+                completed: p.completed,
+                total: p.total,
+            });
+        }
+    };
+
+    let engine = shared.engine.read().expect("engine lock");
+    let baseline = engine.cache_stats();
+    let outcome = match &spec {
+        JobSpec::Sweep { scenarios, policy, gate_level, .. } => {
+            let mut builder =
+                SweepPlan::builder().scenarios(scenarios.iter().cloned()).budget_policy(*policy);
+            if let Some(gate) = gate_level {
+                builder = builder.gate_level(gate.samples, gate.seed);
+            }
+            match builder.build() {
+                Ok(plan) => Ok(engine
+                    .run_controlled(&plan, shared.threads, Some(&cancel), Some(&on_progress))
+                    .map(|report| {
+                        (report.failure_count(), report.to_json(), record_lines(&report))
+                    })),
+                Err(err) => Err(err.to_string()),
+            }
+        }
+        JobSpec::Explore { requests, policy, ceiling, scaling, branch_model, .. } => {
+            let options = ExploreOptions::new()
+                .policy(*policy)
+                .ceiling(*ceiling)
+                .scaling(*scaling)
+                .branch_model(*branch_model);
+            Ok(engine
+                .explore_controlled(
+                    requests,
+                    &options,
+                    shared.threads,
+                    Some(&cancel),
+                    Some(&on_progress),
+                )
+                .map(|report| (report.failure_count(), report.to_json(), Vec::new())))
+        }
+    };
+    let job_cache = engine.cache_stats().since(baseline);
+    drop(engine);
+
+    let (state, failures, cache, error) = match outcome {
+        Err(detail) => {
+            send_terminal(&events, failed_event(id, detail.clone()));
+            (JobState::Failed, None, None, Some(detail))
+        }
+        Ok(None) => {
+            // Cancelled mid-run: partial results are discarded, never sent.
+            send_terminal(&events, cancelled_event(id));
+            (JobState::Cancelled, None, None, None)
+        }
+        Ok(Some((failures, report, records))) => {
+            if let Some(sender) = &events {
+                // Records replay in plan order — completion order never
+                // reaches the wire.
+                for json in records {
+                    let _ = sender.send(Event::Record { id, json });
+                }
+            }
+            send_terminal(
+                &events,
+                Event::Done {
+                    id,
+                    state: JobState::Done,
+                    failures: Some(failures),
+                    job_cache: Some(job_cache),
+                    report: Some(report),
+                    error: None,
+                },
+            );
+            (JobState::Done, Some(failures), Some(job_cache), None)
+        }
+    };
+    shared.jobs.lock().expect("jobs lock").finish(id, state, cache, failures, error);
+}
+
+/// Registers the circuits of every not-yet-seen generator spec.  Specs are
+/// deduplicated by their exact string; the generator is deterministic, so
+/// re-registering an equivalent spec would be a no-op anyway.
+fn register_gen_circuits(shared: &Arc<Shared>, specs: &[String]) -> Result<(), String> {
+    for text in specs {
+        {
+            let registered = shared.registered.lock().expect("registered lock");
+            if registered.contains(text) {
+                continue;
+            }
+        }
+        let batch = crate::plans::generate_batch(std::slice::from_ref(text))?;
+        let mut engine = shared.engine.write().expect("engine lock");
+        engine.register_benchmarks(batch);
+        drop(engine);
+        shared.registered.lock().expect("registered lock").insert(text.clone());
+    }
+    Ok(())
+}
+
+fn record_lines(report: &engine::SweepReport) -> Vec<String> {
+    report.records.iter().map(engine::report::record_json).collect()
+}
+
+fn cancelled_event(id: u64) -> Event {
+    Event::Done {
+        id,
+        state: JobState::Cancelled,
+        failures: None,
+        job_cache: None,
+        report: None,
+        error: None,
+    }
+}
+
+fn failed_event(id: u64, detail: String) -> Event {
+    Event::Done {
+        id,
+        state: JobState::Failed,
+        failures: None,
+        job_cache: None,
+        report: None,
+        error: Some(detail),
+    }
+}
+
+fn send_terminal(events: &Option<Sender<Event>>, event: Event) {
+    if let Some(sender) = events {
+        let _ = sender.send(event);
+    }
+}
+
+fn write_line(writer: &mut UnixStream, line: &str) -> io::Result<()> {
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}

@@ -1,0 +1,847 @@
+//! The typed newline-delimited-JSON wire protocol.
+//!
+//! One message is one JSON object on one line.  Clients send [`Request`]
+//! lines; the daemon answers each request with exactly one [`Response`]
+//! line, and a successful `submit` additionally streams [`Event`] lines on
+//! the same connection until the job reaches a terminal state.
+//!
+//! # Determinism contract
+//!
+//! The protocol is designed so a job's results are byte-identical no matter
+//! how the daemon is feeling:
+//!
+//! * A submission carries its work list **fully explicit** — every sweep
+//!   scenario (or explore request) spelled out, plus the `gen` spec strings
+//!   naming any generated circuits the daemon must register.  The daemon
+//!   reconstructs the plan through the same canonicalizing
+//!   [`engine::SweepPlanBuilder`] an in-process run uses, so client-side
+//!   and daemon-side plans are equal by construction.
+//! * [`Event::Record`] lines replay the finished report's records in **plan
+//!   order** (the canonical scenario order), never completion order.
+//! * Report payloads travel as pre-rendered JSON *strings* (escaped, one
+//!   line), so the daemon's byte-exact [`engine::SweepReport::to_json`]
+//!   output reaches the client without any re-serialization.
+
+use engine::{
+    BranchModel, BudgetCeiling, BudgetPolicy, CacheStats, DelayScaling, ExploreRequest,
+    GateLevelSpec, Scenario, SchedulerKind,
+};
+
+use crate::admission::{RejectReason, Rejection};
+use crate::jobs::{JobKind, JobState};
+use crate::json::Json;
+
+/// A client-to-daemon message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Submit a job; the connection then receives the event stream.
+    Submit(JobSpec),
+    /// Query one job's status.
+    Status {
+        /// The job id.
+        id: u64,
+    },
+    /// List every tracked job.
+    List,
+    /// Cancel a queued or running job.
+    Cancel {
+        /// The job id.
+        id: u64,
+    },
+    /// Stop accepting work, cancel queued jobs and exit.
+    Shutdown,
+}
+
+/// A fully explicit job specification (see the module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobSpec {
+    /// A scenario sweep.
+    Sweep {
+        /// Generator spec strings ([`gen::GenSpec::parse`] syntax) for
+        /// circuits the daemon must register before running.
+        gen: Vec<String>,
+        /// The explicit scenario list.
+        scenarios: Vec<Scenario>,
+        /// Budget policy the plan runs under.
+        policy: BudgetPolicy,
+        /// Optional gate-level simulation request.
+        gate_level: Option<GateLevelSpec>,
+    },
+    /// A Pareto exploration.
+    Explore {
+        /// Generator spec strings, as for sweeps.
+        gen: Vec<String>,
+        /// The explicit exploration requests, in report order.
+        requests: Vec<ExploreRequest>,
+        /// Budget policy.
+        policy: BudgetPolicy,
+        /// Budget ceiling for the range policies.
+        ceiling: BudgetCeiling,
+        /// Scaled-delay energy law.
+        scaling: DelayScaling,
+        /// Branch-probability model.
+        branch_model: BranchModel,
+    },
+}
+
+impl JobSpec {
+    /// A plain sweep job: no generated circuits, fixed budgets, no
+    /// gate-level simulation.
+    pub fn sweep(scenarios: Vec<Scenario>) -> JobSpec {
+        JobSpec::Sweep { gen: Vec::new(), scenarios, policy: BudgetPolicy::Fixed, gate_level: None }
+    }
+
+    /// A plain exploration job with default options.
+    pub fn explore(requests: Vec<ExploreRequest>) -> JobSpec {
+        JobSpec::Explore {
+            gen: Vec::new(),
+            requests,
+            policy: BudgetPolicy::default(),
+            ceiling: BudgetCeiling::default(),
+            scaling: DelayScaling::default(),
+            branch_model: BranchModel::default(),
+        }
+    }
+
+    /// What kind of job this is.
+    pub fn kind(&self) -> JobKind {
+        match self {
+            JobSpec::Sweep { .. } => JobKind::Sweep,
+            JobSpec::Explore { .. } => JobKind::Explore,
+        }
+    }
+
+    /// The generator specs the daemon must register.
+    pub fn gen_specs(&self) -> &[String] {
+        match self {
+            JobSpec::Sweep { gen, .. } | JobSpec::Explore { gen, .. } => gen,
+        }
+    }
+
+    /// Admission size: scenarios for a sweep, circuit walks for an
+    /// exploration (pre-expansion in both cases).
+    pub fn size(&self) -> usize {
+        match self {
+            JobSpec::Sweep { scenarios, .. } => scenarios.len(),
+            JobSpec::Explore { requests, .. } => requests.len(),
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        match self {
+            JobSpec::Sweep { gen, scenarios, policy, gate_level } => {
+                let mut fields = vec![
+                    ("kind".to_owned(), Json::Str("sweep".to_owned())),
+                    ("gen".to_owned(), string_array(gen)),
+                    (
+                        "scenarios".to_owned(),
+                        Json::Array(scenarios.iter().map(scenario_to_json).collect()),
+                    ),
+                    ("policy".to_owned(), Json::Str(policy.label().to_owned())),
+                ];
+                if let Some(gate) = gate_level {
+                    fields.push((
+                        "gate_level".to_owned(),
+                        Json::Object(vec![
+                            ("samples".to_owned(), Json::number(gate.samples)),
+                            ("seed".to_owned(), Json::number(gate.seed)),
+                        ]),
+                    ));
+                }
+                Json::Object(fields)
+            }
+            JobSpec::Explore { gen, requests, policy, ceiling, scaling, branch_model } => {
+                Json::Object(vec![
+                    ("kind".to_owned(), Json::Str("explore".to_owned())),
+                    ("gen".to_owned(), string_array(gen)),
+                    (
+                        "requests".to_owned(),
+                        Json::Array(requests.iter().map(request_to_json).collect()),
+                    ),
+                    ("policy".to_owned(), Json::Str(policy.label().to_owned())),
+                    ("ceiling".to_owned(), ceiling_to_json(*ceiling)),
+                    ("scaling".to_owned(), Json::Str(scaling.label().to_owned())),
+                    ("branch_model".to_owned(), Json::Str(branch_model.label())),
+                ])
+            }
+        }
+    }
+
+    fn from_json(json: &Json) -> Result<JobSpec, String> {
+        let kind = require_str(json, "kind")?;
+        let gen = json.get("gen").map(parse_string_array).transpose()?.unwrap_or_default();
+        let policy = BudgetPolicy::parse(require_str(json, "policy")?)
+            .ok_or_else(|| "unknown budget policy".to_owned())?;
+        match kind {
+            "sweep" => {
+                let scenarios = json
+                    .get("scenarios")
+                    .and_then(Json::as_array)
+                    .ok_or("missing `scenarios`")?
+                    .iter()
+                    .map(scenario_from_json)
+                    .collect::<Result<Vec<_>, _>>()?;
+                let gate_level = match json.get("gate_level") {
+                    None | Some(Json::Null) => None,
+                    Some(gate) => Some(GateLevelSpec {
+                        samples: require_usize(gate, "samples")?,
+                        seed: require_u64(gate, "seed")?,
+                    }),
+                };
+                Ok(JobSpec::Sweep { gen, scenarios, policy, gate_level })
+            }
+            "explore" => {
+                let requests = json
+                    .get("requests")
+                    .and_then(Json::as_array)
+                    .ok_or("missing `requests`")?
+                    .iter()
+                    .map(request_from_json)
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(JobSpec::Explore {
+                    gen,
+                    requests,
+                    policy,
+                    ceiling: ceiling_from_json(json.get("ceiling").ok_or("missing `ceiling`")?)?,
+                    scaling: DelayScaling::parse(require_str(json, "scaling")?)
+                        .ok_or("unknown scaling")?,
+                    branch_model: parse_branch_model(require_str(json, "branch_model")?)?,
+                })
+            }
+            other => Err(format!("unknown job kind `{other}`")),
+        }
+    }
+}
+
+/// One job's status snapshot (without the daemon-global cache counters,
+/// which [`Response::Status`] carries alongside).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobStatus {
+    /// The job id.
+    pub id: u64,
+    /// Sweep or explore.
+    pub kind: JobKind,
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// Work items completed so far.
+    pub completed: usize,
+    /// Total work items in the expanded plan (0 until the run starts).
+    pub total: usize,
+    /// The job's own cache delta, once it finished.
+    pub job_cache: Option<CacheStats>,
+    /// Failed scenarios/walks in the finished report.
+    pub failures: Option<usize>,
+    /// The error a failed job ended with.
+    pub error: Option<String>,
+}
+
+impl JobStatus {
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("id".to_owned(), Json::number(self.id)),
+            ("kind".to_owned(), Json::Str(self.kind.label().to_owned())),
+            ("state".to_owned(), Json::Str(self.state.label().to_owned())),
+            ("completed".to_owned(), Json::number(self.completed)),
+            ("total".to_owned(), Json::number(self.total)),
+        ];
+        if let Some(cache) = self.job_cache {
+            fields.push(("job_cache".to_owned(), cache_to_json(cache)));
+        }
+        if let Some(failures) = self.failures {
+            fields.push(("failures".to_owned(), Json::number(failures)));
+        }
+        if let Some(error) = &self.error {
+            fields.push(("error".to_owned(), Json::Str(error.clone())));
+        }
+        Json::Object(fields)
+    }
+
+    fn from_json(json: &Json) -> Result<JobStatus, String> {
+        Ok(JobStatus {
+            id: require_u64(json, "id")?,
+            kind: JobKind::parse(require_str(json, "kind")?).ok_or("unknown job kind")?,
+            state: JobState::parse(require_str(json, "state")?).ok_or("unknown job state")?,
+            completed: require_usize(json, "completed")?,
+            total: require_usize(json, "total")?,
+            job_cache: json.get("job_cache").map(cache_from_json).transpose()?,
+            failures: json
+                .get("failures")
+                .map(|f| f.as_usize().ok_or("bad failures"))
+                .transpose()?,
+            error: json
+                .get("error")
+                .map(|e| Ok::<_, String>(e.as_str().ok_or("bad error")?.to_owned()))
+                .transpose()?,
+        })
+    }
+}
+
+/// A daemon-to-client answer (one per request).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The job was admitted under this id.
+    Submitted {
+        /// The assigned job id.
+        id: u64,
+    },
+    /// The job was turned away by the admission layer.
+    Rejected(Rejection),
+    /// The request itself was invalid (malformed line, unknown id, …).
+    Error {
+        /// What went wrong.
+        detail: String,
+    },
+    /// One job's status plus the daemon-global cache counters.
+    Status {
+        /// Global cache counters at response time.
+        cache: CacheStats,
+        /// The job snapshot.
+        job: JobStatus,
+    },
+    /// Every tracked job plus the daemon-global cache counters.
+    Jobs {
+        /// Global cache counters at response time.
+        cache: CacheStats,
+        /// Snapshots in submission order.
+        jobs: Vec<JobStatus>,
+    },
+    /// Cancellation was processed; `state` is the job's state afterwards
+    /// (a running job stays `running` until its next scenario boundary).
+    Cancelled {
+        /// The job id.
+        id: u64,
+        /// The state after the cancellation request.
+        state: JobState,
+    },
+    /// The daemon acknowledged shutdown.
+    ShuttingDown,
+}
+
+/// A streamed job-lifecycle message on a submit connection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// Progress tick: `completed` of `total` work items are finished.
+    /// Ticks arrive as workers finish, so consecutive `completed` values
+    /// may be momentarily out of order; the final report is unaffected.
+    Progress {
+        /// The job id.
+        id: u64,
+        /// Work items completed.
+        completed: usize,
+        /// Total work items in the expanded plan.
+        total: usize,
+    },
+    /// One finished record, replayed in plan order after the run completes.
+    /// The payload is the exact single-line JSON object that appears in the
+    /// final report's `records` array.
+    Record {
+        /// The job id.
+        id: u64,
+        /// The record's JSON line.
+        json: String,
+    },
+    /// Terminal event: the job reached `state`.  `report` carries the full
+    /// byte-exact report JSON for finished jobs.
+    Done {
+        /// The job id.
+        id: u64,
+        /// The terminal state.
+        state: JobState,
+        /// Failed scenarios/walks inside the report.
+        failures: Option<usize>,
+        /// The job's cache delta (hits/misses attributable to this job).
+        job_cache: Option<CacheStats>,
+        /// The full report JSON, byte-identical to an in-process run.
+        report: Option<String>,
+        /// The error a failed job ended with.
+        error: Option<String>,
+    },
+}
+
+impl Request {
+    /// Emits the request as one wire line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let fields = match self {
+            Request::Submit(spec) => vec![
+                ("cmd".to_owned(), Json::Str("submit".to_owned())),
+                ("job".to_owned(), spec.to_json()),
+            ],
+            Request::Status { id } => vec![
+                ("cmd".to_owned(), Json::Str("status".to_owned())),
+                ("id".to_owned(), Json::number(*id)),
+            ],
+            Request::List => vec![("cmd".to_owned(), Json::Str("list".to_owned()))],
+            Request::Cancel { id } => vec![
+                ("cmd".to_owned(), Json::Str("cancel".to_owned())),
+                ("id".to_owned(), Json::number(*id)),
+            ],
+            Request::Shutdown => vec![("cmd".to_owned(), Json::Str("shutdown".to_owned()))],
+        };
+        Json::Object(fields).emit()
+    }
+
+    /// Parses one wire line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the malformation.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let json = Json::parse(line)?;
+        match require_str(&json, "cmd")? {
+            "submit" => {
+                Ok(Request::Submit(JobSpec::from_json(json.get("job").ok_or("missing `job`")?)?))
+            }
+            "status" => Ok(Request::Status { id: require_u64(&json, "id")? }),
+            "list" => Ok(Request::List),
+            "cancel" => Ok(Request::Cancel { id: require_u64(&json, "id")? }),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!("unknown command `{other}`")),
+        }
+    }
+}
+
+impl Response {
+    /// Emits the response as one wire line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let fields = match self {
+            Response::Submitted { id } => vec![
+                ("resp".to_owned(), Json::Str("submitted".to_owned())),
+                ("id".to_owned(), Json::number(*id)),
+            ],
+            Response::Rejected(rejection) => vec![
+                ("resp".to_owned(), Json::Str("rejected".to_owned())),
+                ("reason".to_owned(), Json::Str(rejection.reason.label().to_owned())),
+                ("detail".to_owned(), Json::Str(rejection.detail.clone())),
+            ],
+            Response::Error { detail } => vec![
+                ("resp".to_owned(), Json::Str("error".to_owned())),
+                ("detail".to_owned(), Json::Str(detail.clone())),
+            ],
+            Response::Status { cache, job } => vec![
+                ("resp".to_owned(), Json::Str("status".to_owned())),
+                ("cache".to_owned(), cache_to_json(*cache)),
+                ("job".to_owned(), job.to_json()),
+            ],
+            Response::Jobs { cache, jobs } => vec![
+                ("resp".to_owned(), Json::Str("jobs".to_owned())),
+                ("cache".to_owned(), cache_to_json(*cache)),
+                ("jobs".to_owned(), Json::Array(jobs.iter().map(JobStatus::to_json).collect())),
+            ],
+            Response::Cancelled { id, state } => vec![
+                ("resp".to_owned(), Json::Str("cancelled".to_owned())),
+                ("id".to_owned(), Json::number(*id)),
+                ("state".to_owned(), Json::Str(state.label().to_owned())),
+            ],
+            Response::ShuttingDown => {
+                vec![("resp".to_owned(), Json::Str("shutting-down".to_owned()))]
+            }
+        };
+        Json::Object(fields).emit()
+    }
+
+    /// Parses one wire line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the malformation.
+    pub fn parse(line: &str) -> Result<Response, String> {
+        let json = Json::parse(line)?;
+        match require_str(&json, "resp")? {
+            "submitted" => Ok(Response::Submitted { id: require_u64(&json, "id")? }),
+            "rejected" => Ok(Response::Rejected(Rejection {
+                reason: RejectReason::parse(require_str(&json, "reason")?)
+                    .ok_or("unknown reject reason")?,
+                detail: require_str(&json, "detail")?.to_owned(),
+            })),
+            "error" => Ok(Response::Error { detail: require_str(&json, "detail")?.to_owned() }),
+            "status" => Ok(Response::Status {
+                cache: cache_from_json(json.get("cache").ok_or("missing `cache`")?)?,
+                job: JobStatus::from_json(json.get("job").ok_or("missing `job`")?)?,
+            }),
+            "jobs" => Ok(Response::Jobs {
+                cache: cache_from_json(json.get("cache").ok_or("missing `cache`")?)?,
+                jobs: json
+                    .get("jobs")
+                    .and_then(Json::as_array)
+                    .ok_or("missing `jobs`")?
+                    .iter()
+                    .map(JobStatus::from_json)
+                    .collect::<Result<Vec<_>, _>>()?,
+            }),
+            "cancelled" => Ok(Response::Cancelled {
+                id: require_u64(&json, "id")?,
+                state: JobState::parse(require_str(&json, "state")?).ok_or("unknown state")?,
+            }),
+            "shutting-down" => Ok(Response::ShuttingDown),
+            other => Err(format!("unknown response `{other}`")),
+        }
+    }
+}
+
+impl Event {
+    /// Emits the event as one wire line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let fields = match self {
+            Event::Progress { id, completed, total } => vec![
+                ("event".to_owned(), Json::Str("progress".to_owned())),
+                ("id".to_owned(), Json::number(*id)),
+                ("completed".to_owned(), Json::number(*completed)),
+                ("total".to_owned(), Json::number(*total)),
+            ],
+            Event::Record { id, json } => vec![
+                ("event".to_owned(), Json::Str("record".to_owned())),
+                ("id".to_owned(), Json::number(*id)),
+                ("json".to_owned(), Json::Str(json.clone())),
+            ],
+            Event::Done { id, state, failures, job_cache, report, error } => {
+                let mut fields = vec![
+                    ("event".to_owned(), Json::Str("done".to_owned())),
+                    ("id".to_owned(), Json::number(*id)),
+                    ("state".to_owned(), Json::Str(state.label().to_owned())),
+                ];
+                if let Some(failures) = failures {
+                    fields.push(("failures".to_owned(), Json::number(*failures)));
+                }
+                if let Some(cache) = job_cache {
+                    fields.push(("job_cache".to_owned(), cache_to_json(*cache)));
+                }
+                if let Some(report) = report {
+                    fields.push(("report".to_owned(), Json::Str(report.clone())));
+                }
+                if let Some(error) = error {
+                    fields.push(("error".to_owned(), Json::Str(error.clone())));
+                }
+                fields
+            }
+        };
+        Json::Object(fields).emit()
+    }
+
+    /// Parses one wire line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the malformation.
+    pub fn parse(line: &str) -> Result<Event, String> {
+        let json = Json::parse(line)?;
+        match require_str(&json, "event")? {
+            "progress" => Ok(Event::Progress {
+                id: require_u64(&json, "id")?,
+                completed: require_usize(&json, "completed")?,
+                total: require_usize(&json, "total")?,
+            }),
+            "record" => Ok(Event::Record {
+                id: require_u64(&json, "id")?,
+                json: require_str(&json, "json")?.to_owned(),
+            }),
+            "done" => Ok(Event::Done {
+                id: require_u64(&json, "id")?,
+                state: JobState::parse(require_str(&json, "state")?).ok_or("unknown state")?,
+                failures: json
+                    .get("failures")
+                    .map(|f| f.as_usize().ok_or("bad failures"))
+                    .transpose()?,
+                job_cache: json.get("job_cache").map(cache_from_json).transpose()?,
+                report: json
+                    .get("report")
+                    .map(|r| r.as_str().map(str::to_owned).ok_or("bad report"))
+                    .transpose()?,
+                error: json
+                    .get("error")
+                    .map(|e| e.as_str().map(str::to_owned).ok_or("bad error"))
+                    .transpose()?,
+            }),
+            other => Err(format!("unknown event `{other}`")),
+        }
+    }
+}
+
+/// Parses a [`BranchModel::label`] string (`fair` or `p<permille>`).
+pub fn parse_branch_model(label: &str) -> Result<BranchModel, String> {
+    if label == "fair" {
+        return Ok(BranchModel::Fair);
+    }
+    let permille: u16 = label
+        .strip_prefix('p')
+        .and_then(|digits| digits.parse().ok())
+        .ok_or_else(|| format!("unknown branch model `{label}`"))?;
+    if permille > 1000 {
+        return Err(format!("branch model permille {permille} exceeds 1000"));
+    }
+    Ok(BranchModel::biased(permille))
+}
+
+/// Parses a [`SchedulerKind::label`] string.
+pub fn parse_scheduler(label: &str) -> Result<SchedulerKind, String> {
+    match label {
+        "force" => Ok(SchedulerKind::ForceDirected),
+        "list" => Ok(SchedulerKind::List),
+        other => Err(format!("unknown scheduler `{other}`")),
+    }
+}
+
+fn scenario_to_json(scenario: &Scenario) -> Json {
+    Json::Object(vec![
+        ("circuit".to_owned(), Json::Str(scenario.circuit.clone())),
+        ("latency".to_owned(), Json::number(scenario.latency)),
+        ("scheduler".to_owned(), Json::Str(scenario.scheduler.label().to_owned())),
+        ("pipeline_depth".to_owned(), Json::number(scenario.pipeline_depth)),
+        ("reorder".to_owned(), Json::Bool(scenario.reorder)),
+        ("branch_model".to_owned(), Json::Str(scenario.branch_model.label())),
+    ])
+}
+
+fn scenario_from_json(json: &Json) -> Result<Scenario, String> {
+    Ok(Scenario::new(require_str(json, "circuit")?, require_u32(json, "latency")?)
+        .scheduler(parse_scheduler(require_str(json, "scheduler")?)?)
+        .pipeline_depth(require_u32(json, "pipeline_depth")?)
+        .reorder(json.get("reorder").and_then(Json::as_bool).ok_or("missing `reorder`")?)
+        .branch_model(parse_branch_model(require_str(json, "branch_model")?)?))
+}
+
+fn request_to_json(request: &ExploreRequest) -> Json {
+    Json::Object(vec![
+        ("circuit".to_owned(), Json::Str(request.circuit.clone())),
+        (
+            "budgets".to_owned(),
+            Json::Array(request.budgets.iter().map(|&b| Json::number(b)).collect()),
+        ),
+    ])
+}
+
+fn request_from_json(json: &Json) -> Result<ExploreRequest, String> {
+    let budgets = json
+        .get("budgets")
+        .and_then(Json::as_array)
+        .ok_or("missing `budgets`")?
+        .iter()
+        .map(|b| b.as_u32().ok_or_else(|| "bad budget".to_owned()))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(ExploreRequest::new(require_str(json, "circuit")?).budgets(budgets))
+}
+
+fn ceiling_to_json(ceiling: BudgetCeiling) -> Json {
+    match ceiling {
+        BudgetCeiling::Absolute(steps) => {
+            Json::Object(vec![("absolute".to_owned(), Json::number(steps))])
+        }
+        BudgetCeiling::CriticalPathPlus(span) => {
+            Json::Object(vec![("cp-plus".to_owned(), Json::number(span))])
+        }
+    }
+}
+
+fn ceiling_from_json(json: &Json) -> Result<BudgetCeiling, String> {
+    if let Some(steps) = json.get("absolute") {
+        return Ok(BudgetCeiling::Absolute(steps.as_u32().ok_or("bad ceiling")?));
+    }
+    if let Some(span) = json.get("cp-plus") {
+        return Ok(BudgetCeiling::CriticalPathPlus(span.as_u32().ok_or("bad ceiling")?));
+    }
+    Err("ceiling needs `absolute` or `cp-plus`".to_owned())
+}
+
+fn cache_to_json(cache: CacheStats) -> Json {
+    Json::Object(vec![
+        ("hits".to_owned(), Json::number(cache.hits)),
+        ("misses".to_owned(), Json::number(cache.misses)),
+        ("entries".to_owned(), Json::number(cache.entries)),
+    ])
+}
+
+fn cache_from_json(json: &Json) -> Result<CacheStats, String> {
+    Ok(CacheStats {
+        hits: require_u64(json, "hits")?,
+        misses: require_u64(json, "misses")?,
+        entries: require_usize(json, "entries")?,
+    })
+}
+
+fn string_array(items: &[String]) -> Json {
+    Json::Array(items.iter().map(|s| Json::Str(s.clone())).collect())
+}
+
+fn parse_string_array(json: &Json) -> Result<Vec<String>, String> {
+    json.as_array()
+        .ok_or("expected string array")?
+        .iter()
+        .map(|item| item.as_str().map(str::to_owned).ok_or_else(|| "expected string".to_owned()))
+        .collect()
+}
+
+fn require_str<'a>(json: &'a Json, key: &str) -> Result<&'a str, String> {
+    json.get(key).and_then(Json::as_str).ok_or_else(|| format!("missing string `{key}`"))
+}
+
+fn require_u64(json: &Json, key: &str) -> Result<u64, String> {
+    json.get(key).and_then(Json::as_u64).ok_or_else(|| format!("missing number `{key}`"))
+}
+
+fn require_u32(json: &Json, key: &str) -> Result<u32, String> {
+    json.get(key).and_then(Json::as_u32).ok_or_else(|| format!("missing number `{key}`"))
+}
+
+fn require_usize(json: &Json, key: &str) -> Result<usize, String> {
+    json.get(key).and_then(Json::as_usize).ok_or_else(|| format!("missing number `{key}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(request: Request) {
+        let line = request.to_line();
+        assert!(!line.contains('\n'));
+        assert_eq!(Request::parse(&line).unwrap(), request, "{line}");
+    }
+
+    fn roundtrip_response(response: Response) {
+        let line = response.to_line();
+        assert!(!line.contains('\n'));
+        assert_eq!(Response::parse(&line).unwrap(), response, "{line}");
+    }
+
+    fn roundtrip_event(event: Event) {
+        let line = event.to_line();
+        assert!(!line.contains('\n'));
+        assert_eq!(Event::parse(&line).unwrap(), event, "{line}");
+    }
+
+    #[test]
+    fn sweep_submissions_roundtrip_every_scenario_knob() {
+        let scenarios = vec![
+            Scenario::new("dealer", 4),
+            Scenario::new("gen-rdag-s42-w6-d8-m300-0001", 9)
+                .scheduler(SchedulerKind::List)
+                .pipeline_depth(2)
+                .reorder(true)
+                .branch_model(BranchModel::biased(300)),
+        ];
+        roundtrip_request(Request::Submit(JobSpec::sweep(scenarios.clone())));
+        roundtrip_request(Request::Submit(JobSpec::Sweep {
+            gen: vec!["family=random-dag,seed=42,count=2".to_owned()],
+            scenarios,
+            policy: BudgetPolicy::Pareto,
+            gate_level: Some(GateLevelSpec { samples: 256, seed: u64::MAX }),
+        }));
+    }
+
+    #[test]
+    fn explore_submissions_roundtrip_every_option() {
+        roundtrip_request(Request::Submit(JobSpec::explore(vec![
+            ExploreRequest::new("dealer").budgets([4, 6])
+        ])));
+        roundtrip_request(Request::Submit(JobSpec::Explore {
+            gen: vec!["family=mux-tree,seed=7,count=3".to_owned()],
+            requests: vec![ExploreRequest::new("x"), ExploreRequest::new("y").budgets([3])],
+            policy: BudgetPolicy::FullRange,
+            ceiling: BudgetCeiling::Absolute(20),
+            scaling: DelayScaling::Linear,
+            branch_model: BranchModel::biased(900),
+        }));
+        roundtrip_request(Request::Submit(JobSpec::Explore {
+            gen: Vec::new(),
+            requests: vec![ExploreRequest::new("z")],
+            policy: BudgetPolicy::Pareto,
+            ceiling: BudgetCeiling::CriticalPathPlus(4),
+            scaling: DelayScaling::Quadratic,
+            branch_model: BranchModel::Fair,
+        }));
+    }
+
+    #[test]
+    fn control_requests_roundtrip() {
+        roundtrip_request(Request::Status { id: 7 });
+        roundtrip_request(Request::List);
+        roundtrip_request(Request::Cancel { id: u64::MAX });
+        roundtrip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_response(Response::Submitted { id: 1 });
+        roundtrip_response(Response::Rejected(Rejection {
+            reason: RejectReason::QueueFull,
+            detail: "16 jobs queued (limit 16)".to_owned(),
+        }));
+        roundtrip_response(Response::Error { detail: "missing `job`".to_owned() });
+        let status = JobStatus {
+            id: 3,
+            kind: JobKind::Sweep,
+            state: JobState::Running,
+            completed: 12,
+            total: 32,
+            job_cache: None,
+            failures: None,
+            error: None,
+        };
+        let cache = CacheStats { hits: 10, misses: 5, entries: 5 };
+        roundtrip_response(Response::Status { cache, job: status.clone() });
+        let finished = JobStatus {
+            state: JobState::Done,
+            completed: 32,
+            job_cache: Some(CacheStats { hits: 16, misses: 0, entries: 5 }),
+            failures: Some(2),
+            ..status
+        };
+        roundtrip_response(Response::Jobs { cache, jobs: vec![finished] });
+        roundtrip_response(Response::Cancelled { id: 2, state: JobState::Cancelled });
+        roundtrip_response(Response::ShuttingDown);
+    }
+
+    #[test]
+    fn events_roundtrip_including_multiline_report_payloads() {
+        roundtrip_event(Event::Progress { id: 1, completed: 3, total: 32 });
+        roundtrip_event(Event::Record {
+            id: 1,
+            json: "{\"scenario\": {\"circuit\": \"dealer\"}, \"ok\": true}".to_owned(),
+        });
+        roundtrip_event(Event::Done {
+            id: 1,
+            state: JobState::Done,
+            failures: Some(0),
+            job_cache: Some(CacheStats { hits: 0, misses: 16, entries: 16 }),
+            report: Some("{\n  \"records\": [\n  ]\n}\n".to_owned()),
+            error: None,
+        });
+        roundtrip_event(Event::Done {
+            id: 2,
+            state: JobState::Failed,
+            failures: None,
+            job_cache: None,
+            report: None,
+            error: Some("unknown family `nope`".to_owned()),
+        });
+    }
+
+    #[test]
+    fn branch_model_and_scheduler_labels_parse_back() {
+        for model in [
+            BranchModel::Fair,
+            BranchModel::biased(0),
+            BranchModel::biased(300),
+            BranchModel::biased(1000),
+        ] {
+            assert_eq!(parse_branch_model(&model.label()).unwrap(), model);
+        }
+        assert!(parse_branch_model("p1001").is_err());
+        assert!(parse_branch_model("biased").is_err());
+        for scheduler in [SchedulerKind::ForceDirected, SchedulerKind::List] {
+            assert_eq!(parse_scheduler(scheduler.label()).unwrap(), scheduler);
+        }
+        assert!(parse_scheduler("hyper").is_err());
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_with_context() {
+        assert!(Request::parse("not json").is_err());
+        assert!(Request::parse("{\"cmd\":\"warp\"}").is_err());
+        assert!(Request::parse("{\"cmd\":\"status\"}").is_err(), "missing id");
+        assert!(Request::parse("{\"cmd\":\"submit\"}").is_err(), "missing job");
+        assert!(Response::parse("{\"resp\":\"status\"}").is_err());
+        assert!(Event::parse("{\"event\":\"progress\",\"id\":1}").is_err());
+        let err =
+            JobSpec::from_json(&Json::parse("{\"kind\":\"sweep\",\"policy\":\"fixed\"}").unwrap());
+        assert!(err.is_err(), "missing scenarios");
+    }
+}

@@ -1,0 +1,186 @@
+//! Black-box tests of the `sweepd`/`sweepctl` binaries: admission
+//! rejections, queued-job cancellation and running-job cancellation, all
+//! exercised over the real socket protocol.
+
+use std::path::PathBuf;
+use std::process::{Child, Command, Output, Stdio};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::{Duration, Instant};
+
+static SOCKET_COUNTER: AtomicU32 = AtomicU32::new(0);
+
+struct DaemonProc {
+    child: Child,
+    socket: PathBuf,
+}
+
+impl DaemonProc {
+    /// Spawns `sweepd` on a unique socket and waits until it listens.
+    fn start(tag: &str, extra_args: &[&str]) -> DaemonProc {
+        let n = SOCKET_COUNTER.fetch_add(1, Ordering::Relaxed);
+        let socket =
+            std::env::temp_dir().join(format!("sweepd-bin-{tag}-{}-{n}.sock", std::process::id()));
+        let child = Command::new(env!("CARGO_BIN_EXE_sweepd"))
+            .arg("--socket")
+            .arg(&socket)
+            .args(extra_args)
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("sweepd spawns");
+        assert!(
+            service::wait_for_socket(&socket, Duration::from_secs(10)),
+            "sweepd did not start listening"
+        );
+        DaemonProc { child, socket }
+    }
+
+    fn ctl(&self, args: &[&str]) -> Output {
+        Command::new(env!("CARGO_BIN_EXE_sweepctl"))
+            .arg("--socket")
+            .arg(&self.socket)
+            .args(args)
+            .output()
+            .expect("sweepctl runs")
+    }
+
+    /// Runs `sweepctl` in a thread (for submissions that block until the
+    /// job finishes).
+    fn ctl_background(&self, args: &[String]) -> std::thread::JoinHandle<Output> {
+        let socket = self.socket.clone();
+        let args = args.to_vec();
+        std::thread::spawn(move || {
+            Command::new(env!("CARGO_BIN_EXE_sweepctl"))
+                .arg("--socket")
+                .arg(&socket)
+                .args(&args)
+                .output()
+                .expect("sweepctl runs")
+        })
+    }
+
+    /// Polls `sweepctl status ID` until `predicate` matches its stdout.
+    fn poll_status(&self, id: &str, predicate: impl Fn(&str) -> bool) -> String {
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            let output = self.ctl(&["status", id]);
+            let stdout = String::from_utf8_lossy(&output.stdout).into_owned();
+            if output.status.success() && predicate(&stdout) {
+                return stdout;
+            }
+            assert!(Instant::now() < deadline, "timed out polling job {id}; last: {stdout}");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    fn shutdown(mut self) {
+        let output = self.ctl(&["shutdown"]);
+        assert!(output.status.success(), "shutdown failed: {output:?}");
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for DaemonProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+        let _ = std::fs::remove_file(&self.socket);
+    }
+}
+
+fn stderr_of(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr).into_owned()
+}
+
+/// A generated job big enough (under `--threads 1`, debug build) that the
+/// tests can observe and cancel it mid-flight.
+const SLOW_GEN: &str = "family=mux-tree,seed=3,count=60";
+
+#[test]
+fn over_limit_submissions_get_typed_rejections() {
+    let daemon = DaemonProc::start("limits", &["--max-items", "3"]);
+
+    let output = daemon.ctl(&[
+        "submit", "--case", "dealer:4", "--case", "dealer:5", "--case", "gcd:5", "--case", "gcd:6",
+    ]);
+    assert_eq!(output.status.code(), Some(3), "rejected submissions exit 3");
+    let stderr = stderr_of(&output);
+    assert!(stderr.contains("job-too-large"), "typed reason on stderr: {stderr}");
+
+    let output = daemon.ctl(&["submit"]);
+    assert_eq!(output.status.code(), Some(3));
+    assert!(stderr_of(&output).contains("empty-job"));
+
+    // An in-limits submission still goes through on the same daemon.
+    let output = daemon.ctl(&["submit", "--case", "dealer:4"]);
+    assert!(output.status.success(), "in-limits job runs: {output:?}");
+    assert!(stderr_of(&output).contains("state=done"));
+
+    daemon.shutdown();
+}
+
+#[test]
+fn cancelling_a_queued_job_never_runs_it() {
+    let daemon = DaemonProc::start("queued", &["--threads", "1"]);
+
+    // Job 1 occupies the single executor; job 2 waits behind it.
+    let slow = daemon.ctl_background(&["submit".into(), "--gen".into(), SLOW_GEN.into()]);
+    daemon.poll_status("1", |s| s.contains("state=running"));
+    let queued = daemon.ctl_background(&["submit".into(), "--case".into(), "dealer:4".into()]);
+    daemon.poll_status("2", |s| s.contains("state=queued"));
+
+    let output = daemon.ctl(&["cancel", "2"]);
+    assert!(output.status.success());
+    assert!(String::from_utf8_lossy(&output.stdout).contains("cancelled id=2 state=cancelled"));
+
+    // The cancelled job never accrues any progress: it simply never ran.
+    let status = daemon.poll_status("2", |s| s.contains("state=cancelled"));
+    assert!(status.contains("completed=0 total=0"), "job 2 never ran: {status}");
+    let queued = queued.join().expect("queued submitter");
+    assert_eq!(queued.status.code(), Some(1), "cancelled job exits 1");
+    assert!(stderr_of(&queued).contains("state=cancelled"));
+
+    // Unblock the executor and shut down.
+    let output = daemon.ctl(&["cancel", "1"]);
+    assert!(output.status.success());
+    daemon.poll_status("1", |s| s.contains("state=cancelled"));
+    let _ = slow.join();
+    daemon.shutdown();
+}
+
+#[test]
+fn cancelling_a_running_job_stops_between_scenarios() {
+    let daemon = DaemonProc::start("running", &["--threads", "1"]);
+
+    let slow = daemon.ctl_background(&["submit".into(), "--gen".into(), SLOW_GEN.into()]);
+    // Wait until the job is demonstrably mid-run (some but not all
+    // scenarios finished), then cancel it.
+    daemon.poll_status("1", |s| {
+        s.contains("state=running") && !s.contains("completed=0 ") && !s.contains("total=0")
+    });
+    let output = daemon.ctl(&["cancel", "1"]);
+    assert!(output.status.success());
+    // A running job's flag is raised; it finalizes at the next boundary.
+    assert!(String::from_utf8_lossy(&output.stdout).contains("cancelled id=1 state=running"));
+
+    let status = daemon.poll_status("1", |s| s.contains("state=cancelled"));
+    let (completed, total) = parse_progress(&status);
+    assert!(total > 0, "the run had started: {status}");
+    assert!(completed < total, "the run stopped early, between scenarios: {status}");
+
+    let slow = slow.join().expect("submitter");
+    assert_eq!(slow.status.code(), Some(1));
+    assert!(stderr_of(&slow).contains("state=cancelled"));
+    daemon.shutdown();
+}
+
+fn parse_progress(status: &str) -> (usize, usize) {
+    let field = |key: &str| {
+        status
+            .split_whitespace()
+            .find_map(|part| part.strip_prefix(key))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("no {key} in {status}"))
+    };
+    (field("completed="), field("total="))
+}
