@@ -57,6 +57,7 @@
 
 pub mod cache;
 pub mod error;
+pub mod online;
 pub mod pareto;
 pub mod plan;
 pub mod pool;
@@ -77,6 +78,10 @@ use sched::{hyper, ResourceConstraint};
 
 pub use crate::cache::CacheStats;
 pub use crate::error::EngineError;
+pub use crate::online::{
+    run_stream, run_stream_controlled, run_stream_verified, run_streams, EventMetrics, EventRecord,
+    OnlineReport, OnlineSummary, SessionState, VerifiedOutcome,
+};
 pub use crate::pareto::{
     BudgetCeiling, BudgetPolicy, CircuitExploration, DelayScaling, ExploreOptions, ExplorePoint,
     ExploreRequest, ParetoReport,

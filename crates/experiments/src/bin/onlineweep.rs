@@ -1,0 +1,59 @@
+//! Runs the online-repair study: one event stream per generated circuit
+//! family through the verified online session, reporting the
+//! online-vs-offline savings gap, the repair economy and the
+//! bit-identity verdict.
+//!
+//! ```text
+//! cargo run --release -p experiments --bin onlineweep [-- --json]
+//!     [--threads N] [--small]
+//! ```
+//!
+//! Exits non-zero if any repaired schedule diverged from a cold
+//! recompute by even one byte.
+
+use std::process::exit;
+
+fn main() {
+    let mut json = false;
+    let mut threads = 0usize;
+    let mut small = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--small" => small = true,
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--threads needs a positive integer"));
+            }
+            other => usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let outcome = match experiments::onlineweep::run_onlineweep(small, threads) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("onlineweep failed: {e}");
+            exit(1);
+        }
+    };
+
+    if json {
+        print!("{}", experiments::onlineweep::to_json(&outcome));
+    } else {
+        print!("{}", experiments::onlineweep::render(&outcome));
+    }
+    if !outcome.all_identical() {
+        eprintln!("onlineweep: a repaired schedule diverged from its cold recompute");
+        exit(1);
+    }
+}
+
+fn usage(problem: &str) -> ! {
+    eprintln!("onlineweep: {problem}");
+    eprintln!("usage: onlineweep [--json] [--threads N] [--small]");
+    exit(2);
+}

@@ -18,6 +18,7 @@
 //! | Generated-workload distributions (beyond the paper) | [`genweep`] | `--bin genweep` |
 //! | Latency–power Pareto fronts over the full budget range (beyond the paper) | [`pareto`] | `--bin pareto` |
 //! | Sweep-service determinism smoke (beyond the paper) | [`serviceweep`] | `--bin serviceweep` |
+//! | Online incremental-repair study (beyond the paper) | [`onlineweep`] | `--bin onlineweep` |
 //!
 //! The `table1`, `table2`, `table3` and `sensitivity` binaries accept a
 //! `--json` flag that emits the engine's machine-readable report instead of
@@ -39,6 +40,7 @@ use engine::{EngineError, Scenario, ScenarioMetrics, SweepRecord, SweepReport};
 pub mod ablation;
 pub mod figures;
 pub mod genweep;
+pub mod onlineweep;
 pub mod pareto;
 pub mod sensitivity;
 pub mod serviceweep;

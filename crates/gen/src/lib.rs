@@ -56,6 +56,7 @@
 #![deny(missing_docs)]
 
 pub mod error;
+pub mod events;
 pub mod families;
 pub mod spec;
 
@@ -64,11 +65,12 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 pub use crate::error::GenError;
+pub use crate::events::{stream, Scaling, StreamEvent, StreamSpec};
 pub use crate::spec::{Family, GenSpec};
 
 /// Mixes the batch seed with a circuit index into an independent stream
 /// seed (splitmix-style finalizer, matching the `StdRng` shim's quality).
-fn stream_seed(seed: u64, index: usize) -> u64 {
+pub(crate) fn stream_seed(seed: u64, index: usize) -> u64 {
     let mut z = seed ^ (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z ^ (z >> 31)

@@ -47,7 +47,7 @@
 //! cached candidate equals the reference's scan result for the node's
 //! current frame and row.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 use cdfg::{Cdfg, NodeId, OpClass, Slices};
 
@@ -120,6 +120,14 @@ pub struct Workspace {
     changed_flag: Vec<bool>,
     /// Worklist scratch for seeded propagation.
     queue: VecDeque<NodeId>,
+    /// Frame updates performed by the most recent kernel run (each node a
+    /// fix or a propagation step actually moved, counted once per
+    /// iteration).  Instrumentation for [`RepairStats`]; never consulted by
+    /// the kernel itself.
+    touched: usize,
+    /// Distribution-graph rows rebuilt by the most recent kernel run
+    /// (rows of classes with at least one member).
+    rebuilt: usize,
 }
 
 impl Workspace {
@@ -180,6 +188,229 @@ pub(crate) fn schedule_with_timing_into(
     Kernel::init(cdfg, timing, ws).run()
 }
 
+/// Mobile-node fraction above which [`repair`] falls back to a full
+/// recompute (`CASCADE_NUM / CASCADE_DEN`).  When a budget delta leaves
+/// most of the graph mobile, the cascade covers essentially the whole
+/// circuit: there is no bounded re-work left to exploit, so the event is
+/// accounted as a full recompute and the cached analysis is refreshed from
+/// scratch.
+const CASCADE_NUM: usize = 3;
+/// See [`CASCADE_NUM`].
+const CASCADE_DEN: usize = 4;
+
+/// Per-event cost accounting for [`repair`]: how much of the graph one
+/// incremental step actually re-derived.  The online engine and
+/// `bench_online` aggregate these into the touched-nodes ratio against a
+/// cold recompute.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RepairStats {
+    /// Nodes whose schedule-relevant state was re-derived: kernel frame
+    /// updates (fixes and propagation steps, counted once per node per
+    /// iteration), plus — on the full-recompute path only — one per
+    /// functional node for the timing analysis itself.  Memo hits and the
+    /// O(1) infeasibility fast path touch zero nodes.
+    pub nodes_touched: usize,
+    /// Distribution-graph rows the kernel rebuilt.
+    pub classes_rebuilt: usize,
+    /// Whether this event fell back to a cold recompute (first sight of the
+    /// circuit, or a cascade past the `CASCADE_NUM` threshold).
+    pub full_recompute: bool,
+}
+
+/// Warm per-circuit state for the online repair path: the kernel
+/// [`Workspace`] plus the latency-independent invariants that let a budget
+/// event skip the timing analysis, and a schedule memo over budgets already
+/// visited.
+///
+/// A workspace binds itself to the first circuit it sees (keyed by name and
+/// slot count, the same identity the engine's caches use) and rebinds —
+/// dropping every cache — when handed a different one.  The caches:
+///
+/// * `asap` is latency-independent, and `alap(n) = latency − height(n)`
+///   where `height` is the latency-independent longest functional path
+///   towards the outputs, so a pure budget change rebuilds the timing
+///   analysis as a uniform shift (`Timing::rebuild_from_heights`) — the
+///   closed form of `Timing::tighten`'s endpoint re-propagation for this
+///   delta class.
+/// * `critical_path` makes infeasibility O(1), surfacing the *same* typed
+///   [`ScheduleError::LatencyTooSmall`] a cold run produces.
+/// * `memo` holds one schedule per budget already visited; event streams
+///   walk small budget windows, so revisits dominate and repair to zero
+///   touched nodes.  The map is bounded by the number of distinct feasible
+///   budgets the stream visits.
+///
+/// Every path produces schedules **bit-identical** to a cold
+/// [`schedule`] at the same parameters: the warm path runs the identical
+/// kernel on an identical (rebuilt) analysis, memo entries were produced by
+/// that same kernel, and the fallback *is* a cold run on warm buffers.
+#[derive(Debug, Default)]
+pub struct RepairWorkspace {
+    ws: Workspace,
+    /// Name of the bound circuit (`None` until first use).
+    circuit: Option<String>,
+    /// Slot count of the bound circuit, guarding against name reuse across
+    /// structurally different graphs.
+    slots: usize,
+    /// Cached ASAP values (latency-independent).
+    asap: Vec<u32>,
+    /// Cached sink heights: `alap(n) = latency − height(n)`.
+    height: Vec<u32>,
+    /// Cached critical path (max ASAP, control edges included).
+    critical_path: u32,
+    /// Functional node count of the bound circuit.
+    functional: usize,
+    /// Schedules already produced, by budget.
+    memo: BTreeMap<u32, Schedule>,
+}
+
+impl RepairWorkspace {
+    /// An empty workspace; binds to the first circuit [`repair`] sees.
+    pub fn new() -> Self {
+        RepairWorkspace::default()
+    }
+
+    /// The bound circuit's critical path, once bound.
+    pub fn critical_path(&self) -> Option<u32> {
+        self.circuit.as_ref().map(|_| self.critical_path)
+    }
+
+    /// The name of the bound circuit, if any.
+    pub fn bound_circuit(&self) -> Option<&str> {
+        self.circuit.as_deref()
+    }
+
+    /// Drops every cache; the next [`repair`] call performs a full
+    /// recompute and rebinds.
+    pub fn reset(&mut self) {
+        self.circuit = None;
+        self.memo.clear();
+    }
+
+    /// Harvests the latency-independent invariants from a just-computed
+    /// feasible analysis.
+    fn cache_invariants(&mut self, cdfg: &Cdfg, timing: &Timing) {
+        let slices = cdfg.slices();
+        let latency = timing.latency();
+        let slots = slices.slot_count();
+        self.asap.clear();
+        self.asap.resize(slots, 0);
+        self.height.clear();
+        self.height.resize(slots, 0);
+        for &n in slices.functional() {
+            self.asap[n.index()] = timing.asap(n);
+            self.height[n.index()] = latency - timing.alap(n);
+        }
+        self.critical_path = timing.min_latency();
+        self.functional = slices.functional().len();
+    }
+}
+
+/// Repairs the schedule of `cdfg` for a (possibly) new `latency`, reusing
+/// everything `rw` learned from previous events on the same circuit.  The
+/// returned schedule (or error) is bit-identical to a cold
+/// [`schedule`]`(cdfg, latency)`; the [`RepairStats`] say how much work the
+/// event actually cost (see [`RepairWorkspace`] for the fast paths).
+///
+/// # Errors
+///
+/// Returns [`ScheduleError::LatencyTooSmall`] — with the same fields a cold
+/// run reports — if the latency is below the circuit's critical path.
+pub fn repair(
+    cdfg: &Cdfg,
+    latency: u32,
+    rw: &mut RepairWorkspace,
+) -> (Result<Schedule, ScheduleError>, RepairStats) {
+    let slices = cdfg.slices();
+    let bound = rw.circuit.as_deref() == Some(cdfg.name()) && rw.slots == slices.slot_count();
+    if !bound {
+        rw.circuit = Some(cdfg.name().to_owned());
+        rw.slots = slices.slot_count();
+        rw.memo.clear();
+        return repair_full(cdfg, latency, rw);
+    }
+
+    // O(1) infeasibility: `min_latency()` equals the cached critical path
+    // at every latency, so the typed error is cold-identical.
+    if latency < rw.critical_path {
+        return (
+            Err(ScheduleError::LatencyTooSmall {
+                requested: latency,
+                critical_path: rw.critical_path,
+            }),
+            RepairStats::default(),
+        );
+    }
+
+    // Revisited budget: the memo entry was produced by the identical
+    // kernel, so replaying it is a zero-work repair.
+    if let Some(found) = rw.memo.get(&latency) {
+        return (Ok(found.clone()), RepairStats::default());
+    }
+
+    // Cascade check: when the new budget leaves most nodes mobile, the
+    // delta has degenerated to a whole-graph reschedule.
+    let mobile = slices
+        .functional()
+        .iter()
+        .filter(|n| latency - rw.height[n.index()] > rw.asap[n.index()])
+        .count();
+    if mobile * CASCADE_DEN > rw.functional * CASCADE_NUM {
+        return repair_full(cdfg, latency, rw);
+    }
+
+    // Warm path: rebuild the analysis from the cached invariants (no
+    // per-node re-derivation) and run the kernel, which fixes every
+    // width-1 frame up front and only works the mobile cascade.
+    let mut timing = std::mem::take(&mut rw.ws.timing);
+    timing.rebuild_from_heights(latency, &rw.asap, &rw.height);
+    let result = schedule_with_timing_into(cdfg, &timing, &mut rw.ws);
+    rw.ws.timing = timing;
+    let stats = RepairStats {
+        nodes_touched: rw.ws.touched,
+        classes_rebuilt: rw.ws.rebuilt,
+        full_recompute: false,
+    };
+    if let Ok(found) = &result {
+        rw.memo.insert(latency, found.clone());
+    }
+    (result, stats)
+}
+
+/// The full-recompute path of [`repair`]: a cold timing analysis plus a
+/// kernel run on warm buffers, refreshing the cached invariants on the way.
+/// Bit-identical to [`schedule_with_workspace`] by construction.
+fn repair_full(
+    cdfg: &Cdfg,
+    latency: u32,
+    rw: &mut RepairWorkspace,
+) -> (Result<Schedule, ScheduleError>, RepairStats) {
+    let mut timing = std::mem::take(&mut rw.ws.timing);
+    timing.compute_into(cdfg, latency);
+    let result = if timing.is_feasible() {
+        rw.cache_invariants(cdfg, &timing);
+        schedule_with_timing_into(cdfg, &timing, &mut rw.ws)
+    } else {
+        let critical_path = timing.min_latency();
+        // Future events need the invariants of a *feasible* analysis;
+        // harvest them at the critical path itself.
+        timing.compute_into(cdfg, critical_path.max(1));
+        rw.cache_invariants(cdfg, &timing);
+        rw.ws.touched = 0;
+        rw.ws.rebuilt = 0;
+        Err(ScheduleError::LatencyTooSmall { requested: latency, critical_path })
+    };
+    rw.ws.timing = timing;
+    let stats = RepairStats {
+        nodes_touched: rw.functional + rw.ws.touched,
+        classes_rebuilt: rw.ws.rebuilt,
+        full_recompute: true,
+    };
+    if let Ok(found) = &result {
+        rw.memo.insert(latency, found.clone());
+    }
+    (result, stats)
+}
+
 /// One force-directed scheduling run over workspace-owned mutable state,
 /// slot-indexed by [`NodeId::index`].
 struct Kernel<'a> {
@@ -220,6 +451,8 @@ impl<'a> Kernel<'a> {
         ws.changed_flag.clear();
         ws.changed_flag.resize(slots, false);
         ws.queue.clear();
+        ws.touched = 0;
+        ws.rebuilt = 0;
 
         for &n in slices.functional() {
             let data = cdfg.node(n).expect("live node");
@@ -278,6 +511,9 @@ impl<'a> Kernel<'a> {
                 continue;
             }
             ws.class_dirty[class] = false;
+            if !ws.class_members[class].is_empty() {
+                ws.rebuilt += 1;
+            }
             let row = &mut ws.dg[class];
             row.fill(0.0);
             for &m in &ws.class_members[class] {
@@ -347,6 +583,7 @@ impl<'a> Kernel<'a> {
         if !self.ws.changed_flag[n.index()] {
             self.ws.changed_flag[n.index()] = true;
             self.ws.changed.push(n);
+            self.ws.touched += 1;
         }
     }
 
@@ -634,6 +871,100 @@ mod tests {
                 "constrained, latency {latency}"
             );
         }
+    }
+
+    #[test]
+    fn repair_is_bit_identical_to_cold_schedules_across_budget_walks() {
+        // A reflecting budget walk over one warm workspace: every repaired
+        // schedule must equal a cold run, whichever internal path (full,
+        // warm kernel, memo) served it.
+        let (g, ..) = abs_diff();
+        let mut rw = RepairWorkspace::new();
+        let walk = [2u32, 3, 4, 3, 2, 5, 4, 4, 2, 7, 3];
+        for (i, &latency) in walk.iter().enumerate() {
+            let (got, stats) = repair(&g, latency, &mut rw);
+            assert_eq!(got.unwrap(), schedule(&g, latency).unwrap(), "event {i} at {latency}");
+            if i == 0 {
+                assert!(stats.full_recompute, "first sight is a full recompute");
+            }
+        }
+        assert_eq!(rw.critical_path(), Some(2));
+        assert_eq!(rw.bound_circuit(), Some("abs_diff"));
+    }
+
+    #[test]
+    fn repair_memo_hits_and_infeasible_fast_path_touch_zero_nodes() {
+        let (g, ..) = abs_diff();
+        let mut rw = RepairWorkspace::new();
+        let (first, stats) = repair(&g, 3, &mut rw);
+        let first = first.unwrap();
+        assert!(stats.full_recompute);
+        assert!(stats.nodes_touched > 0, "cold path re-derives the analysis");
+
+        let (revisit, stats) = repair(&g, 3, &mut rw);
+        assert_eq!(revisit.unwrap(), first);
+        assert_eq!(stats, RepairStats::default(), "memo hit is zero work");
+
+        let (err, stats) = repair(&g, 1, &mut rw);
+        let cold_err = schedule(&g, 1).unwrap_err();
+        assert_eq!(err.unwrap_err(), cold_err, "typed error matches cold");
+        assert_eq!(stats, RepairStats::default(), "infeasibility check is O(1)");
+    }
+
+    #[test]
+    fn repair_surfaces_cold_identical_errors_even_on_first_sight() {
+        // The very first event on a circuit may already be infeasible; the
+        // full path must report the same typed error as a cold run and
+        // still leave the workspace usable for later feasible budgets.
+        let (g, ..) = abs_diff();
+        let mut rw = RepairWorkspace::new();
+        let (err, stats) = repair(&g, 1, &mut rw);
+        assert_eq!(err.unwrap_err(), schedule(&g, 1).unwrap_err());
+        assert!(stats.full_recompute);
+        let (ok, _) = repair(&g, 4, &mut rw);
+        assert_eq!(ok.unwrap(), schedule(&g, 4).unwrap());
+    }
+
+    #[test]
+    fn repair_rebinds_to_a_new_circuit_and_drops_stale_caches() {
+        let (g, ..) = abs_diff();
+        let mut h = Cdfg::new("chain");
+        let x = h.add_input("x");
+        let mut prev = h.add_op(Op::Neg, &[x]).unwrap();
+        for _ in 0..3 {
+            prev = h.add_op(Op::Neg, &[prev]).unwrap();
+        }
+        h.add_output("o", prev).unwrap();
+
+        let mut rw = RepairWorkspace::new();
+        assert_eq!(repair(&g, 3, &mut rw).0.unwrap(), schedule(&g, 3).unwrap());
+        let (got, stats) = repair(&h, 5, &mut rw);
+        assert_eq!(got.unwrap(), schedule(&h, 5).unwrap());
+        assert!(stats.full_recompute, "rebinding recomputes from scratch");
+        assert_eq!(rw.critical_path(), Some(4));
+        // The old circuit rebinds again rather than replaying a stale memo.
+        let (back, stats) = repair(&g, 3, &mut rw);
+        assert_eq!(back.unwrap(), schedule(&g, 3).unwrap());
+        assert!(stats.full_recompute);
+        rw.reset();
+        assert_eq!(rw.bound_circuit(), None);
+        assert!(repair(&g, 3, &mut rw).1.full_recompute);
+    }
+
+    #[test]
+    fn warm_repairs_touch_fewer_nodes_than_full_recomputes() {
+        // Tightening back to the critical path pins every critical node's
+        // frame at init, so the warm path re-derives strictly less than the
+        // full path's per-node timing pass; loosening past the critical
+        // path makes every node mobile, which is exactly the cascade the
+        // threshold classifies as a full recompute.
+        let (g, ..) = abs_diff();
+        let mut rw = RepairWorkspace::new();
+        let (_, full) = repair(&g, 3, &mut rw);
+        assert!(full.full_recompute, "every node is mobile above the critical path");
+        let (_, warm) = repair(&g, 2, &mut rw);
+        assert!(!warm.full_recompute, "at the critical path the cascade is bounded");
+        assert!(warm.nodes_touched < full.nodes_touched, "warm {warm:?} vs full {full:?}");
     }
 
     #[test]

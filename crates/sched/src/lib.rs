@@ -60,6 +60,7 @@ pub mod schedule;
 pub mod timing;
 
 pub use crate::error::ScheduleError;
+pub use crate::force::{repair, RepairStats, RepairWorkspace};
 pub use crate::resource::{ResourceConstraint, ResourceSet};
 pub use crate::schedule::Schedule;
 pub use crate::timing::{Timing, TimingDelta};

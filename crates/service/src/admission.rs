@@ -149,6 +149,40 @@ mod tests {
     }
 
     #[test]
+    fn limits_are_inclusive_exactly_at_the_boundary() {
+        let limits = AdmissionLimits { max_queued: 3, max_job_items: 7 };
+        // items == max_job_items is the largest admissible job …
+        assert!(limits.admit(7, 0, false).is_ok());
+        // … and one more is the smallest rejected one.
+        let rejection = limits.admit(8, 0, false).unwrap_err();
+        assert_eq!(rejection.reason, RejectReason::JobTooLarge);
+        assert!(rejection.detail.contains("8 work items exceed the 7 limit"), "{rejection}");
+        // queued == max_queued - 1 still admits (the new job fills the
+        // last slot); queued == max_queued is full.
+        assert!(limits.admit(1, 2, false).is_ok());
+        let rejection = limits.admit(1, 3, false).unwrap_err();
+        assert_eq!(rejection.reason, RejectReason::QueueFull);
+        assert!(rejection.detail.contains("3 jobs queued (limit 3)"), "{rejection}");
+        // Over-full (a racing shrink of the limit) still reads as full.
+        assert_eq!(limits.admit(1, 4, false).unwrap_err().reason, RejectReason::QueueFull);
+        // A one-item job at a one-item limit is fine.
+        let tight = AdmissionLimits { max_queued: 1, max_job_items: 1 };
+        assert!(tight.admit(1, 0, false).is_ok());
+    }
+
+    #[test]
+    fn shutdown_rejects_even_jobs_the_limits_would_admit() {
+        // Mid-queue shutdown: the queue has room and the job fits, but
+        // admission must still turn it away with the shutdown reason so
+        // clients stop retrying instead of backing off.
+        let limits = AdmissionLimits::default();
+        assert!(limits.admit(5, 3, false).is_ok(), "sanity: admissible without shutdown");
+        let rejection = limits.admit(5, 3, true).unwrap_err();
+        assert_eq!(rejection.reason, RejectReason::ShuttingDown);
+        assert_eq!(rejection.detail, "daemon is shutting down");
+    }
+
+    #[test]
     fn labels_roundtrip() {
         for reason in [
             RejectReason::QueueFull,

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! sweepctl --socket PATH submit [--gen SPEC]... [--case CIRCUIT:LATENCY]...
-//!          [--explore] [--policy fixed|full-range|pareto] [--json]
+//!          [--explore] [--online STREAM] [--policy fixed|full-range|pareto]
+//!          [--json]
 //! sweepctl --socket PATH status ID
 //! sweepctl --socket PATH list
 //! sweepctl --socket PATH cancel ID
@@ -15,6 +16,13 @@
 //! at every derived budget under both schedulers for sweeps, each circuit
 //! across its own budget list for explorations — so the daemon runs
 //! exactly what an in-process `sweep --gen`/`pareto --gen` would.
+//!
+//! `submit --online STREAM` runs an online event-stream session instead
+//! (`gen` stream-spec syntax, e.g.
+//! `family=mux-tree,seed=7,count=3;events=200,eseed=1`); the daemon streams
+//! one record per event, in event order, as the session repairs each
+//! schedule, and the final report is byte-identical to an in-process
+//! `engine::online::run_stream`.
 //!
 //! Exit codes: 0 success, 1 the job failed or was cancelled, 2 usage,
 //! 3 connection/daemon/rejection errors.
@@ -85,6 +93,7 @@ fn submit(client: &mut Client, mut args: Vec<String>) {
     let mut gen_specs: Vec<String> = Vec::new();
     let mut cases: Vec<String> = Vec::new();
     let mut explore = false;
+    let mut online: Option<String> = None;
     let mut policy: Option<BudgetPolicy> = None;
     let mut json = false;
 
@@ -104,6 +113,12 @@ fn submit(client: &mut Client, mut args: Vec<String>) {
                 cases.push(args.remove(0));
             }
             "--explore" => explore = true,
+            "--online" => {
+                if args.is_empty() {
+                    usage("--online needs a stream spec");
+                }
+                online = Some(args.remove(0));
+            }
             "--json" => json = true,
             "--policy" => {
                 if args.is_empty() {
@@ -119,7 +134,17 @@ fn submit(client: &mut Client, mut args: Vec<String>) {
         }
     }
 
-    let spec = if explore {
+    let spec = if let Some(stream) = online {
+        if explore || !gen_specs.is_empty() || !cases.is_empty() || policy.is_some() {
+            usage("--online takes only a stream spec (and --json)");
+        }
+        // Validate client-side so typos fail fast with the parser's message
+        // instead of a failed job.
+        if let Err(err) = gen::StreamSpec::parse(&stream) {
+            usage(&err.to_string());
+        }
+        JobSpec::online(stream)
+    } else if explore {
         let mut requests: Vec<ExploreRequest> = match service::plans::gen_requests(&gen_specs) {
             Ok(requests) => requests,
             Err(err) => usage(&err),
@@ -249,7 +274,7 @@ fn usage(problem: &str) -> ! {
     eprintln!("sweepctl: {problem}");
     eprintln!(
         "usage: sweepctl --socket PATH submit [--gen SPEC]... [--case CIRCUIT:LATENCY]... \
-         [--explore] [--policy fixed|full-range|pareto] [--json]\n\
+         [--explore] [--online STREAM] [--policy fixed|full-range|pareto] [--json]\n\
          \u{20}      sweepctl --socket PATH status|cancel ID\n\
          \u{20}      sweepctl --socket PATH list|shutdown"
     );

@@ -404,6 +404,35 @@ fn run_job(shared: &Arc<Shared>, claimed: ClaimedJob) {
                 )
                 .map(|report| (report.failure_count(), report.to_json(), Vec::new())))
         }
+        JobSpec::Online { stream } => match gen::StreamSpec::parse(stream) {
+            // Online records stream *live*, in event order, as the session
+            // applies each event — there is no completion-order hazard to
+            // shield the wire from (the session is strictly sequential), and
+            // a power manager wants the repair outcome now, not at drain.
+            Ok(stream_spec) => {
+                let on_record = |record: &engine::online::EventRecord| {
+                    if let Some(sender) = &event_sender {
+                        let _ = sender
+                            .lock()
+                            .expect("events lock")
+                            .send(Event::Record { id, json: engine::online::record_json(record) });
+                    }
+                };
+                match engine::online::run_stream_controlled(
+                    &stream_spec,
+                    Some(&cancel),
+                    Some(&on_progress),
+                    Some(&on_record),
+                ) {
+                    Ok(Some(report)) => {
+                        Ok(Some((report.summary.errors, report.to_json(), Vec::new())))
+                    }
+                    Ok(None) => Ok(None),
+                    Err(err) => Err(err.to_string()),
+                }
+            }
+            Err(err) => Err(err.to_string()),
+        },
     };
     let job_cache = engine.cache_stats().since(baseline);
     drop(engine);

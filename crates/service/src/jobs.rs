@@ -29,6 +29,8 @@ pub enum JobKind {
     Sweep,
     /// A Pareto exploration ([`engine::Engine::explore`]).
     Explore,
+    /// An online event-stream session ([`engine::online::run_stream`]).
+    Online,
 }
 
 impl JobKind {
@@ -37,12 +39,13 @@ impl JobKind {
         match self {
             JobKind::Sweep => "sweep",
             JobKind::Explore => "explore",
+            JobKind::Online => "online",
         }
     }
 
     /// Parses a wire label.
     pub fn parse(text: &str) -> Option<Self> {
-        [JobKind::Sweep, JobKind::Explore].into_iter().find(|k| k.label() == text)
+        [JobKind::Sweep, JobKind::Explore, JobKind::Online].into_iter().find(|k| k.label() == text)
     }
 }
 
@@ -363,7 +366,7 @@ mod tests {
 
     #[test]
     fn labels_roundtrip() {
-        for kind in [JobKind::Sweep, JobKind::Explore] {
+        for kind in [JobKind::Sweep, JobKind::Explore, JobKind::Online] {
             assert_eq!(JobKind::parse(kind.label()), Some(kind));
         }
         for state in [

@@ -82,6 +82,13 @@ pub enum JobSpec {
         /// Branch-probability model.
         branch_model: BranchModel,
     },
+    /// An online event-stream session with incremental schedule repair.
+    Online {
+        /// The stream spec string ([`gen::StreamSpec::parse`] syntax); it
+        /// names both the circuit batch and the event sequence, so the
+        /// daemon-side session is byte-identical to an in-process run.
+        stream: String,
+    },
 }
 
 impl JobSpec {
@@ -103,27 +110,40 @@ impl JobSpec {
         }
     }
 
+    /// An online session job over a stream spec string.
+    pub fn online(stream: impl Into<String>) -> JobSpec {
+        JobSpec::Online { stream: stream.into() }
+    }
+
     /// What kind of job this is.
     pub fn kind(&self) -> JobKind {
         match self {
             JobSpec::Sweep { .. } => JobKind::Sweep,
             JobSpec::Explore { .. } => JobKind::Explore,
+            JobSpec::Online { .. } => JobKind::Online,
         }
     }
 
-    /// The generator specs the daemon must register.
+    /// The generator specs the daemon must register.  Online jobs carry
+    /// their circuit batch inside the stream spec instead.
     pub fn gen_specs(&self) -> &[String] {
         match self {
             JobSpec::Sweep { gen, .. } | JobSpec::Explore { gen, .. } => gen,
+            JobSpec::Online { .. } => &[],
         }
     }
 
     /// Admission size: scenarios for a sweep, circuit walks for an
-    /// exploration (pre-expansion in both cases).
+    /// exploration (pre-expansion in both cases), events for an online
+    /// session (0 if the spec does not parse — execution rejects it with a
+    /// typed failure anyway).
     pub fn size(&self) -> usize {
         match self {
             JobSpec::Sweep { scenarios, .. } => scenarios.len(),
             JobSpec::Explore { requests, .. } => requests.len(),
+            JobSpec::Online { stream } => {
+                gen::StreamSpec::parse(stream).map_or(0, |spec| spec.events)
+            }
         }
     }
 
@@ -164,11 +184,18 @@ impl JobSpec {
                     ("branch_model".to_owned(), Json::Str(branch_model.label())),
                 ])
             }
+            JobSpec::Online { stream } => Json::Object(vec![
+                ("kind".to_owned(), Json::Str("online".to_owned())),
+                ("stream".to_owned(), Json::Str(stream.clone())),
+            ]),
         }
     }
 
     fn from_json(json: &Json) -> Result<JobSpec, String> {
         let kind = require_str(json, "kind")?;
+        if kind == "online" {
+            return Ok(JobSpec::Online { stream: require_str(json, "stream")?.to_owned() });
+        }
         let gen = json.get("gen").map(parse_string_array).transpose()?.unwrap_or_default();
         let policy = BudgetPolicy::parse(require_str(json, "policy")?)
             .ok_or_else(|| "unknown budget policy".to_owned())?;
@@ -747,6 +774,18 @@ mod tests {
             scaling: DelayScaling::Quadratic,
             branch_model: BranchModel::Fair,
         }));
+    }
+
+    #[test]
+    fn online_submissions_roundtrip_and_size_counts_events() {
+        let stream = "family=mux-tree,seed=7,count=3;events=50,eseed=9,span=4";
+        let spec = JobSpec::online(stream);
+        assert_eq!(spec.kind(), JobKind::Online);
+        assert_eq!(spec.size(), 50);
+        assert!(spec.gen_specs().is_empty());
+        roundtrip_request(Request::Submit(spec));
+        assert_eq!(JobSpec::online("not a stream spec").size(), 0);
+        assert!(Request::parse("{\"cmd\":\"submit\",\"job\":{\"kind\":\"online\"}}").is_err());
     }
 
     #[test]

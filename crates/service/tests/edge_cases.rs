@@ -1,0 +1,169 @@
+//! Edge-case backfill: admission during shutdown observed over the wire,
+//! and per-job cache deltas ([`engine::CacheStats::since`]) staying
+//! correct across a cancelled job in between.
+
+use std::time::{Duration, Instant};
+
+use engine::Scenario;
+use service::{
+    Client, Daemon, DaemonConfig, JobSpec, JobState, RejectReason, Request, Response, ServiceError,
+};
+
+fn start_daemon(tag: &str) -> service::DaemonHandle {
+    let socket =
+        std::env::temp_dir().join(format!("sweepd-edge-{tag}-{}.sock", std::process::id()));
+    Daemon::start(DaemonConfig { socket, threads: 1, limits: Default::default() })
+        .expect("daemon starts")
+}
+
+/// A generated job big enough (single engine thread, debug build) to be
+/// observably mid-run when the tests act on it.
+const SLOW_GEN: &str = "family=mux-tree,seed=3,count=60";
+
+fn slow_job() -> JobSpec {
+    JobSpec::Sweep {
+        gen: vec![SLOW_GEN.to_owned()],
+        scenarios: service::plans::gen_scenarios(&[SLOW_GEN.to_owned()]).expect("gen scenarios"),
+        policy: engine::BudgetPolicy::Fixed,
+        gate_level: None,
+    }
+}
+
+fn poll_state(socket: &std::path::Path, id: u64, wanted: impl Fn(&service::JobStatus) -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let mut client = Client::connect(socket).expect("connect for polling");
+    loop {
+        if let Response::Status { job, .. } =
+            client.request(&Request::Status { id }).expect("status request")
+        {
+            if wanted(&job) {
+                return;
+            }
+        }
+        assert!(Instant::now() < deadline, "timed out polling job {id}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Shutdown that begins while jobs are queued: the queued job is
+/// cancelled, and a submission racing in *after* shutdown started — on a
+/// connection that was already open — gets the typed shutting-down
+/// rejection, not a hangup and not a queue slot.
+#[test]
+fn mid_queue_shutdown_rejects_new_work_with_the_typed_reason() {
+    let daemon = start_daemon("shutdown");
+    let socket = daemon.socket().to_path_buf();
+
+    // Keep a connection open from before the shutdown begins.
+    let mut early_client = Client::connect(&socket).expect("connect before shutdown");
+
+    // Occupy the executor; queue a second job behind it.
+    let running = {
+        let socket = socket.clone();
+        std::thread::spawn(move || {
+            Client::connect(&socket).expect("connect").submit_and_wait(slow_job())
+        })
+    };
+    poll_state(&socket, 1, |job| job.state == JobState::Running);
+    let queued = {
+        let socket = socket.clone();
+        std::thread::spawn(move || {
+            Client::connect(&socket)
+                .expect("connect")
+                .submit_and_wait(JobSpec::sweep(vec![Scenario::new("dealer", 4)]))
+        })
+    };
+    poll_state(&socket, 2, |job| job.state == JobState::Queued);
+
+    daemon.shutdown();
+
+    // The queued job never runs; its submitter sees a cancelled terminal.
+    let queued = queued.join().expect("queued submitter").expect("queued outcome");
+    assert_eq!(queued.state, JobState::Cancelled);
+    assert!(queued.report.is_none());
+
+    // The running job is asked to stop at its next scenario boundary.
+    let running = running.join().expect("running submitter").expect("running outcome");
+    assert_eq!(running.state, JobState::Cancelled, "shutdown cancels the running job");
+
+    // A submission on the pre-shutdown connection is turned away with the
+    // typed reason — the queue has room, but the daemon is draining.
+    let err = early_client
+        .submit(JobSpec::sweep(vec![Scenario::new("gcd", 5)]))
+        .expect_err("post-shutdown submissions are rejected");
+    match err {
+        ServiceError::Rejected(rejection) => {
+            assert_eq!(rejection.reason, RejectReason::ShuttingDown, "{rejection}");
+        }
+        other => panic!("expected a typed rejection, got {other}"),
+    }
+
+    daemon.join();
+}
+
+/// A cancelled job's prefixes land in the *global* cache counters, but a
+/// later job's own delta ([`engine::CacheStats::since`] from its start
+/// baseline) must not absorb them: the executor snapshots the baseline
+/// when the job starts, after the cancelled job's counters settled.
+#[test]
+fn cancelled_jobs_do_not_leak_misses_into_the_next_jobs_delta() {
+    let daemon = start_daemon("cache-delta");
+    let socket = daemon.socket().to_path_buf();
+    let small = JobSpec::sweep(vec![Scenario::new("dealer", 4), Scenario::new("gcd", 5)]);
+
+    // Job 1: computes its prefixes cold.
+    let first = Client::connect(&socket)
+        .expect("connect")
+        .submit_and_wait(small.clone())
+        .expect("first job");
+    assert_eq!(first.state, JobState::Done);
+    let first_cache = first.job_cache.expect("finished jobs carry a delta");
+    assert!(first_cache.misses > 0, "cold job computes: {first_cache:?}");
+
+    // Job 2: a big generated job, cancelled mid-run.  Its partly computed
+    // prefixes stay in the shared cache (they are correct and reusable),
+    // but the job itself reports no delta.
+    let submitter = {
+        let socket = socket.clone();
+        std::thread::spawn(move || {
+            Client::connect(&socket).expect("connect").submit_and_wait(slow_job())
+        })
+    };
+    poll_state(&socket, 2, |job| job.state == JobState::Running && job.completed > 0);
+    let response = Client::connect(&socket)
+        .expect("connect")
+        .request(&Request::Cancel { id: 2 })
+        .expect("cancel request");
+    assert!(matches!(response, Response::Cancelled { .. }));
+    let cancelled = submitter.join().expect("submitter").expect("cancelled outcome");
+    assert_eq!(cancelled.state, JobState::Cancelled);
+    assert!(cancelled.job_cache.is_none(), "cancelled jobs report no delta");
+
+    // The cancelled job's misses are visible globally …
+    let Response::Jobs { cache: global, .. } =
+        Client::connect(&socket).expect("connect").request(&Request::List).expect("list request")
+    else {
+        panic!("list answered unexpectedly")
+    };
+    assert!(
+        global.misses > first_cache.misses,
+        "the cancelled job computed prefixes: {global:?} vs {first_cache:?}"
+    );
+
+    // … but job 3 — identical to job 1 — sees a pure-hit delta of exactly
+    // its own lookups, none of the cancelled job's.
+    let third =
+        Client::connect(&socket).expect("connect").submit_and_wait(small).expect("third job");
+    assert_eq!(third.state, JobState::Done);
+    let third_cache = third.job_cache.expect("finished jobs carry a delta");
+    assert_eq!(third_cache.misses, 0, "everything was already cached: {third_cache:?}");
+    assert_eq!(
+        third_cache.hits,
+        first_cache.hits + first_cache.misses,
+        "the delta is exactly this job's lookups"
+    );
+    assert_eq!(third.report, first.report, "cache reuse never changes bytes");
+
+    daemon.shutdown();
+    daemon.join();
+}
