@@ -66,7 +66,25 @@ impl Datapath {
     ///
     /// Propagates binding errors (unscheduled or unknown nodes).
     pub fn build(cdfg: &Cdfg, schedule: &Schedule) -> Result<Self, BindError> {
-        let fu = FuBinding::bind(cdfg, schedule)?;
+        Datapath::build_partitioned(cdfg, schedule, &|_| 0)
+    }
+
+    /// Builds the datapath with a unit-sharing partition (see
+    /// [`FuBinding::bind_partitioned`]): operations in different partitions
+    /// — e.g. at different supply voltages — never share an execution
+    /// unit, so the resulting area reflects the voltage-partitioned
+    /// binding.  `build` is the single-partition case and produces an
+    /// identical datapath.
+    ///
+    /// # Errors
+    ///
+    /// Propagates binding errors (unscheduled or unknown nodes).
+    pub fn build_partitioned(
+        cdfg: &Cdfg,
+        schedule: &Schedule,
+        partition: &dyn Fn(NodeId) -> u32,
+    ) -> Result<Self, BindError> {
+        let fu = FuBinding::bind_partitioned(cdfg, schedule, partition)?;
         let registers = RegisterAllocation::allocate(cdfg, schedule)?;
 
         let mut routing_map: BTreeMap<(UnitId, u16), BTreeSet<OperandSource>> = BTreeMap::new();

@@ -63,9 +63,30 @@ impl FuBinding {
     /// Returns [`BindError::UnscheduledNode`] if a functional node has no
     /// step assigned.
     pub fn bind(cdfg: &Cdfg, schedule: &Schedule) -> Result<Self, BindError> {
-        // Units per class, created on demand.  `pools[class][k]` is the unit
-        // id of the k-th unit of that class.
-        let mut pools: BTreeMap<OpClass, Vec<UnitId>> = BTreeMap::new();
+        FuBinding::bind_partitioned(cdfg, schedule, &|_| 0)
+    }
+
+    /// Binds with a *sharing partition*: operations may share a unit only
+    /// when `partition` agrees on them.  This is how per-operation voltage
+    /// reaches the area model — two operations at different supply levels
+    /// cannot run on the same physical unit, so the explorer passes the
+    /// voltage level as the partition and the extra units show up as area.
+    ///
+    /// `bind` is the single-partition case (`|_| 0`) and produces an
+    /// identical binding — same unit ids, names and assignment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BindError::UnscheduledNode`] if a functional node has no
+    /// step assigned.
+    pub fn bind_partitioned(
+        cdfg: &Cdfg,
+        schedule: &Schedule,
+        partition: &dyn Fn(NodeId) -> u32,
+    ) -> Result<Self, BindError> {
+        // Units per (class, partition), created on demand.
+        // `pools[key][k]` is the unit id of the k-th unit of that key.
+        let mut pools: BTreeMap<(OpClass, u32), Vec<UnitId>> = BTreeMap::new();
         let mut units: Vec<FunctionalUnit> = Vec::new();
         let mut assignment: BTreeMap<NodeId, UnitId> = BTreeMap::new();
 
@@ -76,18 +97,18 @@ impl FuBinding {
         }
 
         for step in 1..=schedule.num_steps() {
-            // Operations of this step grouped by class, in node order for
-            // determinism.
-            let mut by_class: BTreeMap<OpClass, Vec<NodeId>> = BTreeMap::new();
+            // Operations of this step grouped by class and partition, in
+            // node order for determinism.
+            let mut by_key: BTreeMap<(OpClass, u32), Vec<NodeId>> = BTreeMap::new();
             for node in schedule.nodes_in_step(step) {
                 if let Some(data) = cdfg.node(node) {
                     if data.op.is_functional() {
-                        by_class.entry(data.op.class()).or_default().push(node);
+                        by_key.entry((data.op.class(), partition(node))).or_default().push(node);
                     }
                 }
             }
-            for (class, nodes) in by_class {
-                let pool = pools.entry(class).or_default();
+            for ((class, part), nodes) in by_key {
+                let pool = pools.entry((class, part)).or_default();
                 for (k, node) in nodes.into_iter().enumerate() {
                     if k >= pool.len() {
                         let id = UnitId(units.len() as u32);
@@ -229,6 +250,29 @@ mod tests {
         assert!(names.contains(&"sub_1"));
         assert!(names.contains(&"cmp_0"));
         assert!(names.contains(&"mux_0"));
+    }
+
+    #[test]
+    fn single_partition_binding_is_identical_to_bind() {
+        let (g, ..) = abs_diff();
+        for latency in 2..=4 {
+            let s = hyper::schedule(&g, &HyperOptions::with_latency(latency)).unwrap();
+            let plain = FuBinding::bind(&g, &s).unwrap();
+            let partitioned = FuBinding::bind_partitioned(&g, &s, &|_| 0).unwrap();
+            assert_eq!(plain, partitioned, "latency {latency}");
+        }
+    }
+
+    #[test]
+    fn partitioned_operations_never_share_a_unit() {
+        // At latency 3 the two subtractions share one subtractor; putting
+        // them in different partitions forces a second unit.
+        let (g, _gt, amb, bma, _m) = abs_diff();
+        let s = hyper::schedule(&g, &HyperOptions::with_latency(3)).unwrap();
+        let split = move |n: NodeId| if n == amb { 1 } else { 0 };
+        let binding = FuBinding::bind_partitioned(&g, &s, &split).unwrap();
+        assert_eq!(binding.unit_count(OpClass::Sub), 2);
+        assert_ne!(binding.unit_of(amb), binding.unit_of(bma));
     }
 
     #[test]

@@ -84,7 +84,7 @@ pub use crate::online::{
 };
 pub use crate::pareto::{
     BudgetCeiling, BudgetPolicy, CircuitExploration, DelayScaling, ExploreOptions, ExplorePoint,
-    ExploreRequest, ParetoReport,
+    ExploreRequest, ParetoReport, VoltagePolicy, VoltagePreset,
 };
 pub use crate::plan::{GateLevelSpec, SweepPlan, SweepPlanBuilder};
 pub use crate::report::{

@@ -17,8 +17,9 @@
 //! still fits the current budget (and recomputed cold only when it no
 //! longer does — a power manager that refuses to adapt).  Both schedules
 //! are priced with the DVS scaled-delay energy model
-//! ([`power::dvs::allotted_delays`] × the paper's operation power
-//! weights under the circuit's current scaling law); the per-event
+//! ([`power::dvs::allotted_delays_into`] into a session-owned warm
+//! buffer, × the paper's operation power weights under the circuit's
+//! current scaling law); the per-event
 //! `savings_gap` is the percentage the online repair saves over the
 //! frozen baseline.  Under [`gen::Scaling::None`] the gap is zero by
 //! construction — slack only pays when delay scaling converts it into
@@ -40,7 +41,7 @@ use cdfg::Cdfg;
 use circuits::Benchmark;
 use gen::{GenError, Scaling, StreamEvent, StreamSpec};
 use pmsched::OpWeights;
-use power::dvs::{allotted_delays, DelayScaling};
+use power::dvs::{allotted_delays_into, DelayScaling};
 use sched::force::{repair, RepairStats, RepairWorkspace};
 use sched::{force, Schedule};
 
@@ -130,6 +131,9 @@ pub struct SessionState {
     live: BTreeMap<String, CircuitSession>,
     /// The paper's relative operation power weights.
     weights: OpWeights,
+    /// Warm allotted-delay buffer, reused across every energy evaluation
+    /// of the session (one allocation for the whole stream).
+    delay_buf: Vec<(cdfg::NodeId, u32)>,
 }
 
 impl SessionState {
@@ -139,6 +143,7 @@ impl SessionState {
             pool: pool.into_iter().map(|b| (b.name, b.cdfg)).collect(),
             live: BTreeMap::new(),
             weights: OpWeights::paper_power(),
+            delay_buf: Vec::new(),
         }
     }
 
@@ -160,19 +165,6 @@ impl SessionState {
     /// A circuit from the pool, live or not.
     pub fn circuit(&self, name: &str) -> Option<&Cdfg> {
         self.pool.get(name)
-    }
-
-    /// Scaled-delay energy of `schedule` for `cdfg` at `latency` under
-    /// `scaling`: each operation's paper power weight times the scaling
-    /// factor of its allotted delay, summed in ascending node order (the
-    /// deterministic summation order every report in this repo uses).
-    fn energy(&self, cdfg: &Cdfg, schedule: &Schedule, latency: u32, scaling: DelayScaling) -> f64 {
-        let mut total = 0.0;
-        for (node, delay) in allotted_delays(cdfg, schedule, latency) {
-            let class = cdfg.node(node).expect("scheduled node is live").op.class();
-            total += self.weights.weight(class) * scaling.factor(delay);
-        }
-        total
     }
 
     /// Applies one event and reports what it cost.  Unknown circuits and
@@ -204,7 +196,8 @@ impl SessionState {
                             offline: schedule.clone(),
                             schedule,
                         };
-                        let metrics = self.metrics_for(circuit, &session, false);
+                        let metrics =
+                            metrics_for(&self.weights, cdfg, &session, false, &mut self.delay_buf);
                         self.live.insert(circuit.clone(), session);
                         (stats, Ok(metrics))
                     }
@@ -235,7 +228,13 @@ impl SessionState {
                                 .expect("repair succeeded at this budget");
                         }
                         let session = &self.live[circuit];
-                        let metrics = self.metrics_for(circuit, session, offline_recomputed);
+                        let metrics = metrics_for(
+                            &self.weights,
+                            cdfg,
+                            session,
+                            offline_recomputed,
+                            &mut self.delay_buf,
+                        );
                         (stats, Ok(metrics))
                     }
                     Err(e) => (stats, Err(e.to_string())),
@@ -247,29 +246,53 @@ impl SessionState {
                 };
                 session.scaling = delay_scaling(*scaling);
                 let session = &self.live[circuit];
-                let metrics = self.metrics_for(circuit, session, false);
+                let cdfg = self.pool.get(circuit).expect("live circuits come from the pool");
+                let metrics = metrics_for(&self.weights, cdfg, session, false, &mut self.delay_buf);
                 (RepairStats::default(), Ok(metrics))
             }
         }
     }
+}
 
-    fn metrics_for(
-        &self,
-        circuit: &str,
-        session: &CircuitSession,
-        offline_recomputed: bool,
-    ) -> EventMetrics {
-        let cdfg = self.pool.get(circuit).expect("live circuits come from the pool");
-        let online = self.energy(cdfg, &session.schedule, session.budget, session.scaling);
-        let offline = self.energy(cdfg, &session.offline, session.budget, session.scaling);
-        let savings_gap = if offline > 0.0 { (offline - online) / offline * 100.0 } else { 0.0 };
-        EventMetrics {
-            schedule_steps: session.schedule.last_used_step(),
-            online_energy: online,
-            offline_energy: offline,
-            savings_gap,
-            offline_recomputed,
-        }
+/// Scaled-delay energy of `schedule` for `cdfg` at `latency` under
+/// `scaling`: each operation's paper power weight times the scaling
+/// factor of its allotted delay, summed in ascending node order (the
+/// deterministic summation order every report in this repo uses).  The
+/// delay allotment lands in `buf` ([`allotted_delays_into`]) so a warm
+/// session never reallocates it.
+fn energy(
+    weights: &OpWeights,
+    cdfg: &Cdfg,
+    schedule: &Schedule,
+    latency: u32,
+    scaling: DelayScaling,
+    buf: &mut Vec<(cdfg::NodeId, u32)>,
+) -> f64 {
+    allotted_delays_into(cdfg, schedule, latency, buf);
+    let mut total = 0.0;
+    for &(node, delay) in buf.iter() {
+        let class = cdfg.node(node).expect("scheduled node is live").op.class();
+        total += weights.weight(class) * scaling.factor(delay);
+    }
+    total
+}
+
+fn metrics_for(
+    weights: &OpWeights,
+    cdfg: &Cdfg,
+    session: &CircuitSession,
+    offline_recomputed: bool,
+    buf: &mut Vec<(cdfg::NodeId, u32)>,
+) -> EventMetrics {
+    let online = energy(weights, cdfg, &session.schedule, session.budget, session.scaling, buf);
+    let offline = energy(weights, cdfg, &session.offline, session.budget, session.scaling, buf);
+    let savings_gap = if offline > 0.0 { (offline - online) / offline * 100.0 } else { 0.0 };
+    EventMetrics {
+        schedule_steps: session.schedule.last_used_step(),
+        online_energy: online,
+        offline_energy: offline,
+        savings_gap,
+        offline_recomputed,
     }
 }
 

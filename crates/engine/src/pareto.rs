@@ -5,9 +5,13 @@
 //! first-class multi-objective search instead: for every circuit it walks
 //! the **full feasible budget range** — from the critical path up to a
 //! configurable ceiling — runs the complete power-management flow at every
-//! budget, scores each point under the scaled-delay (DVS-style) energy
-//! model of [`power::dvs`], and reports the non-dominated
-//! (budget, reduction) front.
+//! budget, scores each point's energy under the [`VoltagePolicy`] in
+//! effect (a global scaled-delay curve from [`power::dvs`], or per-op
+//! discrete levels picked by [`sched::dvs::distribute_slack`]), prices its
+//! area with [`binding::AreaModel`] over the FU binding — voltage-
+//! partitioned when levels differ, since operations at different supplies
+//! cannot share a unit — and reports the non-dominated 3-objective
+//! (budget, energy, area) front.
 //!
 //! Two things make the walk cheap and exact:
 //!
@@ -23,8 +27,10 @@
 use std::fmt;
 use std::fmt::Write as _;
 
+use binding::{AreaModel, Datapath};
 use pmsched::{power_manage_with_workspace, OpWeights, PowerManagementOptions};
-use power::dvs::scaled_delay_estimate;
+use power::dvs::scaled_delay_estimate_into;
+use power::voltage::{voltage_scaled_estimate, VoltageAssignment};
 use sched::force::Workspace;
 
 use crate::report::{csv_field, json_number, json_string};
@@ -32,6 +38,7 @@ use crate::scenario::BranchModel;
 use crate::{pool, select_probabilities, Engine};
 
 pub use power::dvs::DelayScaling;
+pub use power::voltage::{VoltagePolicy, VoltagePreset};
 
 /// Which latency budgets a sweep or exploration visits per circuit — the
 /// budget-policy axis.
@@ -108,8 +115,9 @@ pub struct ExploreOptions {
     pub policy: BudgetPolicy,
     /// Budget ceiling for the range policies (default: critical path + 8).
     pub ceiling: BudgetCeiling,
-    /// Scaled-delay energy law (default: none — the paper's model).
-    pub scaling: DelayScaling,
+    /// Voltage policy: one global scaled-delay curve or per-op discrete
+    /// levels (default: `Global(None)` — the paper's model).
+    pub voltage: VoltagePolicy,
     /// Branch-probability model for the expected-execution estimate.
     pub branch_model: BranchModel,
 }
@@ -132,9 +140,17 @@ impl ExploreOptions {
         self
     }
 
-    /// Replaces the scaling law.
+    /// Replaces the voltage policy with a global scaling curve — sugar for
+    /// `voltage(VoltagePolicy::Global(scaling))`, keeping the pre-existing
+    /// builder spelling working.
     pub fn scaling(mut self, scaling: DelayScaling) -> Self {
-        self.scaling = scaling;
+        self.voltage = VoltagePolicy::Global(scaling);
+        self
+    }
+
+    /// Replaces the voltage policy.
+    pub fn voltage(mut self, voltage: VoltagePolicy) -> Self {
+        self.voltage = voltage;
         self
     }
 
@@ -180,11 +196,19 @@ pub struct ExplorePoint {
     pub pm_muxes: usize,
     /// Shut-down reduction in percent (Table II's mechanism).
     pub shutdown_reduction: f64,
-    /// Additional slowdown reduction in percent (the scaled-delay model).
+    /// Additional slowdown reduction in percent (the voltage model).
     pub slowdown_reduction: f64,
-    /// Combined reduction in percent; the objective the front is built on.
+    /// Combined reduction in percent (a monotone transform of `energy`;
+    /// kept for the reduction-oriented tables).
     pub combined_reduction: f64,
-    /// Whether the point is on the non-dominated (budget, reduction) front.
+    /// Absolute weighted energy under the voltage policy (the
+    /// `scaled_weighted` estimate) — the energy objective of the front.
+    pub energy: f64,
+    /// Datapath area under the voltage-partitioned FU binding
+    /// ([`binding::AreaModel`] total) — the area objective of the front.
+    pub area: f64,
+    /// Whether the point is on the non-dominated (budget, energy, area)
+    /// front.
     pub on_front: bool,
 }
 
@@ -214,8 +238,8 @@ impl CircuitExploration {
 pub struct ParetoReport {
     /// The policy the run used.
     pub policy: BudgetPolicy,
-    /// The scaling law the run used.
-    pub scaling: DelayScaling,
+    /// The voltage policy the run used.
+    pub voltage: VoltagePolicy,
     /// The branch model the run used.
     pub branch_model: BranchModel,
     /// Per-circuit explorations, in request order.
@@ -237,9 +261,9 @@ impl ParetoReport {
     /// byte-identical across reruns and thread counts).
     pub fn to_json(&self) -> String {
         let mut out = format!(
-            "{{\n  \"policy\": {}, \"scaling\": {}, \"branch_model\": {},\n  \"circuits\": [",
+            "{{\n  \"policy\": {}, \"voltage\": {}, \"branch_model\": {},\n  \"circuits\": [",
             json_string(self.policy.label()),
-            json_string(self.scaling.label()),
+            json_string(self.voltage.label()),
             json_string(&self.branch_model.label()),
         );
         for (i, c) in self.circuits.iter().enumerate() {
@@ -260,13 +284,16 @@ impl ParetoReport {
                     out,
                     "\n      {{\"budget\": {}, \"schedule_steps\": {}, \"pm_muxes\": {}, \
                      \"shutdown_reduction\": {}, \"slowdown_reduction\": {}, \
-                     \"combined_reduction\": {}, \"on_front\": {}}}",
+                     \"combined_reduction\": {}, \"energy\": {}, \"area\": {}, \
+                     \"on_front\": {}}}",
                     p.budget,
                     p.schedule_steps,
                     p.pm_muxes,
                     json_number(p.shutdown_reduction),
                     json_number(p.slowdown_reduction),
                     json_number(p.combined_reduction),
+                    json_number(p.energy),
+                    json_number(p.area),
                     p.on_front,
                 );
             }
@@ -292,13 +319,14 @@ impl ParetoReport {
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
             "circuit,critical_path,budget,schedule_steps,pm_muxes,\
-             shutdown_reduction,slowdown_reduction,combined_reduction,on_front,error\n",
+             shutdown_reduction,slowdown_reduction,combined_reduction,\
+             energy,area,on_front,error\n",
         );
         for c in &self.circuits {
             for p in &c.points {
                 let _ = writeln!(
                     out,
-                    "{},{},{},{},{},{},{},{},{},",
+                    "{},{},{},{},{},{},{},{},{},{},{},",
                     csv_field(&c.circuit),
                     c.critical_path,
                     p.budget,
@@ -307,13 +335,15 @@ impl ParetoReport {
                     json_number(p.shutdown_reduction),
                     json_number(p.slowdown_reduction),
                     json_number(p.combined_reduction),
+                    json_number(p.energy),
+                    json_number(p.area),
                     p.on_front,
                 );
             }
             for (budget, error) in &c.failures {
                 let _ = writeln!(
                     out,
-                    "{},{},{budget},,,,,,,{}",
+                    "{},{},{budget},,,,,,,,,{}",
                     csv_field(&c.circuit),
                     c.critical_path,
                     csv_field(error)
@@ -326,26 +356,28 @@ impl ParetoReport {
     /// Renders a human-readable per-circuit table with the front marked.
     pub fn render(&self) -> String {
         let mut out = format!(
-            "Pareto exploration — policy {}, scaling {}, branch model {}\n\n",
-            self.policy, self.scaling, self.branch_model
+            "Pareto exploration — policy {}, voltage {}, branch model {}\n\n",
+            self.policy, self.voltage, self.branch_model
         );
         for c in &self.circuits {
             let _ = writeln!(out, "{} (critical path {}):", c.circuit, c.critical_path);
             let _ = writeln!(
                 out,
-                "  {:>6} {:>5} {:>5} {:>9} {:>9} {:>9}  front",
-                "Budget", "Steps", "Muxs", "Shut(%)", "Slow(%)", "Comb(%)"
+                "  {:>6} {:>5} {:>5} {:>9} {:>9} {:>9} {:>9} {:>9}  front",
+                "Budget", "Steps", "Muxs", "Shut(%)", "Slow(%)", "Comb(%)", "Energy", "Area"
             );
             for p in &c.points {
                 let _ = writeln!(
                     out,
-                    "  {:>6} {:>5} {:>5} {:>9.2} {:>9.2} {:>9.2}  {}",
+                    "  {:>6} {:>5} {:>5} {:>9.2} {:>9.2} {:>9.2} {:>9.3} {:>9.1}  {}",
                     p.budget,
                     p.schedule_steps,
                     p.pm_muxes,
                     p.shutdown_reduction,
                     p.slowdown_reduction,
                     p.combined_reduction,
+                    p.energy,
+                    p.area,
                     if p.on_front { "*" } else { "" }
                 );
             }
@@ -358,21 +390,29 @@ impl ParetoReport {
     }
 }
 
-/// Marks the non-dominated points of an ascending-budget walk.  With
-/// distinct budgets, a point is on the front exactly when its reduction is
-/// strictly greater than every cheaper point's — comparisons use
-/// [`f64::total_cmp`] so even non-finite reductions rank deterministically.
+/// True when `a` dominates `b` in the 3-objective sense: no worse on every
+/// minimised objective (budget, energy, area) and strictly better on at
+/// least one.  Float comparisons use [`f64::total_cmp`] so even non-finite
+/// values rank deterministically.
+fn dominates(a: &ExplorePoint, b: &ExplorePoint) -> bool {
+    let le = |x: f64, y: f64| x.total_cmp(&y).is_le();
+    let lt = |x: f64, y: f64| x.total_cmp(&y).is_lt();
+    a.budget <= b.budget
+        && le(a.energy, b.energy)
+        && le(a.area, b.area)
+        && (a.budget < b.budget || lt(a.energy, b.energy) || lt(a.area, b.area))
+}
+
+/// Marks the non-dominated points of a budget walk under the 3-objective
+/// (budget ↓, energy ↓, area ↓) order — O(n²) pairwise, which is exact and
+/// cheap at budget-walk sizes.  With only the energy objective varying
+/// this degenerates to the old 2-objective rule (reduction strictly
+/// improving with the budget); area keeps otherwise-dominated points alive
+/// when a longer budget buys a smaller datapath.
 fn mark_front(points: &mut [ExplorePoint]) {
-    let mut best: Option<f64> = None;
-    for p in points {
-        let better = match best {
-            None => true,
-            Some(b) => p.combined_reduction.total_cmp(&b).is_gt(),
-        };
-        p.on_front = better;
-        if better {
-            best = Some(p.combined_reduction);
-        }
+    for i in 0..points.len() {
+        let dominated = (0..points.len()).any(|j| j != i && dominates(&points[j], &points[i]));
+        points[i].on_front = !dominated;
     }
 }
 
@@ -440,7 +480,7 @@ impl Engine {
         )?;
         Some(ParetoReport {
             policy: options.policy,
-            scaling: options.scaling,
+            voltage: options.voltage,
             branch_model: options.branch_model,
             circuits,
         })
@@ -476,7 +516,10 @@ fn explore_circuit(
     };
 
     let weights = OpWeights::paper_power();
+    let area_model = AreaModel::new();
     let mut workspace = Workspace::new();
+    let mut dvs_workspace = sched::dvs::Workspace::new();
+    let mut delays: Vec<(cdfg::NodeId, u32)> = Vec::new();
     let mut points = Vec::with_capacity(budgets.len());
     let mut failures = Vec::new();
     for budget in budgets {
@@ -489,17 +532,79 @@ fn explore_circuit(
             }
         };
         let probs = select_probabilities(&result, options.branch_model);
-        match scaled_delay_estimate(&result, &probs, &weights, options.scaling) {
-            Ok(report) => points.push(ExplorePoint {
+        let mut score = || -> Result<ExplorePoint, String> {
+            let (shutdown, slowdown, combined, energy, area) = match options.voltage {
+                VoltagePolicy::Global(scaling) => {
+                    // The single-curve path, with the allotted-delay buffer
+                    // reused across the budget walk.  All operations sit at
+                    // one voltage, so the plain (unpartitioned) binding
+                    // prices the area.
+                    let report =
+                        scaled_delay_estimate_into(&result, &probs, &weights, scaling, &mut delays)
+                            .map_err(|e| e.to_string())?;
+                    let datapath = Datapath::build(result.cdfg(), result.schedule())
+                        .map_err(|e| e.to_string())?;
+                    (
+                        report.shutdown_reduction_percent,
+                        report.slowdown_reduction_percent,
+                        report.combined_reduction_percent,
+                        report.scaled_weighted,
+                        area_model.estimate(&datapath).total(),
+                    )
+                }
+                VoltagePolicy::PerOp(preset) => {
+                    // Per-op levels from the slack-distribution kernel,
+                    // priced by expected execution (weight × activation
+                    // probability), then a voltage-partitioned binding:
+                    // units are shared only within one level.
+                    let table = preset.table();
+                    let levels = table.slack_levels();
+                    let activation = result.activation(&probs);
+                    let pm_cdfg = result.cdfg();
+                    let node_weight = |n: cdfg::NodeId| {
+                        let class = pm_cdfg.node(n).expect("live node").op.class();
+                        weights.weight(class) * activation.probability(n)
+                    };
+                    let picked = sched::dvs::distribute_slack(
+                        pm_cdfg,
+                        result.latency(),
+                        &levels,
+                        &node_weight,
+                        &mut dvs_workspace,
+                    )
+                    .map_err(|e| e.to_string())?;
+                    let assignment = VoltageAssignment::from_levels(picked.levels().to_vec());
+                    let estimate =
+                        voltage_scaled_estimate(&result, &probs, &weights, &table, &assignment)
+                            .map_err(|e| e.to_string())?;
+                    let datapath = Datapath::build_partitioned(pm_cdfg, result.schedule(), &|n| {
+                        picked.level_of(n)
+                    })
+                    .map_err(|e| e.to_string())?;
+                    (
+                        estimate.shutdown_reduction_percent,
+                        estimate.slowdown_reduction_percent,
+                        estimate.combined_reduction_percent,
+                        estimate.scaled_weighted,
+                        area_model.estimate(&datapath).total(),
+                    )
+                }
+            };
+            Ok(ExplorePoint {
                 budget,
                 schedule_steps: result.schedule().num_steps(),
                 pm_muxes: result.managed_mux_count(),
-                shutdown_reduction: report.shutdown_reduction_percent,
-                slowdown_reduction: report.slowdown_reduction_percent,
-                combined_reduction: report.combined_reduction_percent,
+                shutdown_reduction: shutdown,
+                slowdown_reduction: slowdown,
+                combined_reduction: combined,
+                energy,
+                area,
                 on_front: false,
-            }),
-            Err(e) => failures.push((budget, e.to_string())),
+            })
+        };
+        match score() {
+            Ok(point) => points.push(point),
+            Err(e) => failures.push((budget, e)),
         }
     }
     mark_front(&mut points);
@@ -555,12 +660,23 @@ mod tests {
         for (a, b) in full_front.iter().zip(pareto_points) {
             assert_eq!(a.budget, b.budget);
             assert_eq!(a.combined_reduction, b.combined_reduction);
+            assert_eq!(a.energy, b.energy);
+            assert_eq!(a.area, b.area);
             assert!(b.on_front);
         }
-        // Strictly improving along the front — the non-domination invariant.
-        for pair in pareto_points.windows(2) {
-            assert!(pair[0].budget < pair[1].budget);
-            assert!(pair[0].combined_reduction < pair[1].combined_reduction);
+        // The 3-objective non-domination invariant: a later (costlier
+        // budget) front point must improve energy or area over every
+        // earlier front point — otherwise the earlier one dominates it.
+        for (i, a) in pareto_points.iter().enumerate() {
+            for b in &pareto_points[i + 1..] {
+                assert!(a.budget < b.budget);
+                assert!(
+                    b.energy.total_cmp(&a.energy).is_lt() || b.area.total_cmp(&a.area).is_lt(),
+                    "budget {} is dominated by budget {}",
+                    b.budget,
+                    a.budget
+                );
+            }
         }
     }
 
@@ -605,36 +721,57 @@ mod tests {
         let engine = Engine::new();
         let requests: Vec<ExploreRequest> =
             ["dealer", "gcd", "vender", "abs_diff"].map(ExploreRequest::new).to_vec();
-        let options = full_range(DelayScaling::Linear).policy(BudgetPolicy::Pareto);
-        let one = engine.explore(&requests, &options, 1);
-        let four = engine.explore(&requests, &options, 4);
-        let eight = engine.explore(&requests, &options, 8);
-        assert_eq!(one, four);
-        assert_eq!(one.to_json(), four.to_json());
-        assert_eq!(one.to_json(), eight.to_json());
-        assert_eq!(one.to_csv(), eight.to_csv());
+        for voltage in [
+            VoltagePolicy::Global(DelayScaling::Linear),
+            VoltagePolicy::PerOp(VoltagePreset::FiveLevel),
+        ] {
+            let options =
+                full_range(DelayScaling::Linear).policy(BudgetPolicy::Pareto).voltage(voltage);
+            let one = engine.explore(&requests, &options, 1);
+            let four = engine.explore(&requests, &options, 4);
+            let eight = engine.explore(&requests, &options, 8);
+            assert_eq!(one, four);
+            assert_eq!(one.to_json(), four.to_json());
+            assert_eq!(one.to_json(), eight.to_json());
+            assert_eq!(one.to_csv(), eight.to_csv());
+        }
     }
 
     #[test]
     fn mark_front_ranks_with_total_cmp() {
-        let point = |budget, reduction| ExplorePoint {
+        let point = |budget, energy: f64, area: f64| ExplorePoint {
             budget,
             schedule_steps: budget,
             pm_muxes: 0,
-            shutdown_reduction: reduction,
+            shutdown_reduction: 0.0,
             slowdown_reduction: 0.0,
-            combined_reduction: reduction,
+            combined_reduction: -energy,
+            energy,
+            area,
             on_front: false,
         };
-        // An exact tie is dominated (same reduction at a higher budget),
-        // and NaN ranks above every finite value under total_cmp — in both
-        // cases deterministically, which is what byte-identical reruns need.
-        let mut points = vec![point(2, 10.0), point(3, 10.0), point(4, f64::NAN), point(5, 20.0)];
+        // Exact energy/area ties at a higher budget are dominated; a worse
+        // energy survives when its area strictly improves; NaN energy ranks
+        // above every finite value under total_cmp so it is dominated by
+        // any cheaper finite point with no worse area — all
+        // deterministically, which is what byte-identical reruns need.
+        let mut points = vec![
+            point(2, 10.0, 50.0),
+            point(3, 10.0, 50.0),
+            point(4, 12.0, 40.0),
+            point(5, f64::NAN, 50.0),
+            point(6, 5.0, 60.0),
+        ];
         mark_front(&mut points);
         assert_eq!(
             points.iter().map(|p| p.on_front).collect::<Vec<_>>(),
-            vec![true, false, true, false]
+            vec![true, false, true, false, true]
         );
+        // Identical coordinates at the *same* budget do not eliminate each
+        // other (neither strictly improves), keeping mark_front symmetric.
+        let mut twins = vec![point(2, 1.0, 1.0), point(2, 1.0, 1.0)];
+        mark_front(&mut twins);
+        assert!(twins.iter().all(|p| p.on_front));
     }
 
     #[test]
@@ -659,14 +796,56 @@ mod tests {
         let json = report.to_json();
         assert_eq!(json, report.to_json(), "emission is deterministic");
         assert!(json.contains("\"policy\": \"full-range\""));
-        assert!(json.contains("\"scaling\": \"quadratic\""));
+        assert!(json.contains("\"voltage\": \"global-quadratic\""));
+        assert!(json.contains("\"energy\": "));
+        assert!(json.contains("\"area\": "));
         assert!(json.contains("\"on_front\": true"));
         assert!(json.contains("unknown circuit"));
         let csv = report.to_csv();
-        assert!(csv.lines().next().unwrap().starts_with("circuit,critical_path,budget"));
+        let header = csv.lines().next().unwrap();
+        assert!(header.starts_with("circuit,critical_path,budget"));
+        assert!(header.contains(",energy,area,on_front,"));
         assert_eq!(csv.lines().count(), 1 + 5 + 1, "header + 5 points + 1 failure row");
         let text = report.render();
         assert!(text.contains("abs_diff (critical path 2):"));
         assert!(text.contains("Comb(%)"));
+        assert!(text.contains("Energy"));
+    }
+
+    #[test]
+    fn per_op_policies_explore_and_partition_area() {
+        let engine = Engine::new();
+        let global =
+            engine.explore(&[ExploreRequest::new("dealer")], &full_range(DelayScaling::None), 1);
+        let per_op = engine.explore(
+            &[ExploreRequest::new("dealer")],
+            &ExploreOptions::new()
+                .policy(BudgetPolicy::FullRange)
+                .ceiling(BudgetCeiling::CriticalPathPlus(4))
+                .voltage(VoltagePolicy::PerOp(VoltagePreset::ThreeLevel)),
+            1,
+        );
+        let g = global.circuit("dealer").unwrap();
+        let p = per_op.circuit("dealer").unwrap();
+        assert_eq!(per_op.voltage, VoltagePolicy::PerOp(VoltagePreset::ThreeLevel));
+        assert!(p.failures.is_empty(), "{:?}", p.failures);
+        assert_eq!(g.points.len(), p.points.len());
+        let mut area_moved = false;
+        for (a, b) in g.points.iter().zip(&p.points) {
+            assert_eq!(a.budget, b.budget);
+            // Per-op levels only ever lower the energy relative to the
+            // shutdown-only model.
+            assert!(b.energy.total_cmp(&a.energy).is_le(), "budget {}", a.budget);
+            // Voltage partitioning never removes units, but splitting a
+            // shared unit also deletes its steering multiplexors, so the
+            // *total* area can move either way — only require that it is a
+            // real, finite figure and that the partition bites somewhere.
+            assert!(b.area.is_finite() && b.area > 0.0, "budget {}", a.budget);
+            area_moved |= b.area.to_bits() != a.area.to_bits();
+        }
+        assert!(area_moved, "voltage partitioning should change the datapath somewhere");
+        // With real slack the levels actually bite.
+        let widest = p.points.last().unwrap();
+        assert!(widest.slowdown_reduction > 0.0, "slack should buy slowdown savings");
     }
 }

@@ -1,10 +1,12 @@
 //! Property tests for the Pareto explorer: across every generated circuit
-//! family, each emitted front must be actually non-dominated, identical
-//! across thread counts, and monotone — savings never decrease as the
-//! budget grows along the front, the paper's Table II invariant.
+//! family and voltage policy, each emitted front must be actually
+//! non-dominated in all three objectives (budget, energy, area), identical
+//! across thread counts, and anchored at the critical path — the paper's
+//! Table II walk generalised to a 3-objective trade-off surface.
 
 use engine::{
-    BudgetCeiling, BudgetPolicy, DelayScaling, Engine, ExploreOptions, ExploreRequest, ParetoReport,
+    BudgetCeiling, BudgetPolicy, DelayScaling, Engine, ExploreOptions, ExplorePoint,
+    ExploreRequest, ParetoReport, VoltagePolicy, VoltagePreset,
 };
 use gen::{Family, GenSpec};
 use proptest::prelude::*;
@@ -34,11 +36,36 @@ fn family_strategy() -> impl Strategy<Value = Family> {
     ]
 }
 
-fn explore(engine: &Engine, name: &str, policy: BudgetPolicy, threads: usize) -> ParetoReport {
+fn voltage_strategy() -> impl Strategy<Value = VoltagePolicy> {
+    prop_oneof![
+        Just(VoltagePolicy::Global(DelayScaling::Quadratic)),
+        Just(VoltagePolicy::PerOp(VoltagePreset::ThreeLevel)),
+        Just(VoltagePolicy::PerOp(VoltagePreset::FiveLevel)),
+    ]
+}
+
+/// 3-objective dominance, exactly as the explorer defines it: weakly
+/// better everywhere, strictly better somewhere, floats via `total_cmp`.
+fn dominates(a: &ExplorePoint, b: &ExplorePoint) -> bool {
+    a.budget <= b.budget
+        && a.energy.total_cmp(&b.energy).is_le()
+        && a.area.total_cmp(&b.area).is_le()
+        && (a.budget < b.budget
+            || a.energy.total_cmp(&b.energy).is_lt()
+            || a.area.total_cmp(&b.area).is_lt())
+}
+
+fn explore(
+    engine: &Engine,
+    name: &str,
+    policy: BudgetPolicy,
+    voltage: VoltagePolicy,
+    threads: usize,
+) -> ParetoReport {
     let options = ExploreOptions::new()
         .policy(policy)
         .ceiling(BudgetCeiling::CriticalPathPlus(3))
-        .scaling(DelayScaling::Quadratic);
+        .voltage(voltage);
     engine.explore(&[ExploreRequest::new(name)], &options, threads)
 }
 
@@ -46,8 +73,9 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(14))]
 
     #[test]
-    fn fronts_are_non_dominated_deterministic_and_monotone(
+    fn fronts_are_non_dominated_deterministic_and_anchored(
         family in family_strategy(),
+        voltage in voltage_strategy(),
         seed in 0u64..1000,
         scale in 1u32..4,
     ) {
@@ -58,49 +86,50 @@ proptest! {
         engine.register_benchmarks([bench]);
 
         // Determinism: byte-identical JSON at 1, 4 and 8 threads.
-        let one = explore(&engine, &name, BudgetPolicy::Pareto, 1);
-        let four = explore(&engine, &name, BudgetPolicy::Pareto, 4);
-        let eight = explore(&engine, &name, BudgetPolicy::Pareto, 8);
+        let one = explore(&engine, &name, BudgetPolicy::Pareto, voltage, 1);
+        let four = explore(&engine, &name, BudgetPolicy::Pareto, voltage, 4);
+        let eight = explore(&engine, &name, BudgetPolicy::Pareto, voltage, 8);
         prop_assert_eq!(one.to_json(), four.to_json(), "{} at 4 threads", name);
         prop_assert_eq!(one.to_json(), eight.to_json(), "{} at 8 threads", name);
 
         let circuit = one.circuit(&name).expect("explored");
         prop_assert!(circuit.failures.is_empty(), "{}: {:?}", name, circuit.failures);
         prop_assert!(!circuit.points.is_empty(), "{}", name);
-        // The cheapest feasible budget can never be dominated, so the
-        // front always starts at the critical path.
+        // The smallest feasible budget can never be dominated (every other
+        // point pays strictly more budget), so the front always starts at
+        // the critical path.
         prop_assert_eq!(circuit.points[0].budget, circuit.critical_path);
 
-        // Monotone (Table II invariant) and strictly improving: along the
-        // front, a bigger budget always buys strictly more savings.
+        // The front walks ascending budgets, every point carries real
+        // objective values, and no point dominates another — checked
+        // pairwise from the 3-objective definition.
         for pair in circuit.points.windows(2) {
             prop_assert!(pair[0].budget < pair[1].budget, "{}", name);
-            prop_assert!(
-                pair[0].combined_reduction < pair[1].combined_reduction,
-                "{}: front not monotone ({} @ {} vs {} @ {})",
-                name, pair[0].combined_reduction, pair[0].budget,
-                pair[1].combined_reduction, pair[1].budget
-            );
         }
-        // Actually non-dominated, checked pairwise from the definition.
+        for p in &circuit.points {
+            prop_assert!(p.energy.is_finite() && p.energy >= 0.0, "{}", name);
+            prop_assert!(p.area.is_finite() && p.area > 0.0, "{}", name);
+        }
         for (i, a) in circuit.points.iter().enumerate() {
             for b in circuit.points.iter().skip(i + 1) {
-                let b_dominates_a = b.budget <= a.budget
-                    && b.combined_reduction >= a.combined_reduction;
-                let a_dominates_b = a.budget <= b.budget
-                    && a.combined_reduction >= b.combined_reduction;
-                prop_assert!(!b_dominates_a && !a_dominates_b, "{}", name);
+                prop_assert!(
+                    !dominates(a, b) && !dominates(b, a),
+                    "{}: dominated pair @ {} and @ {}",
+                    name, a.budget, b.budget
+                );
             }
         }
 
         // The Pareto policy's points are exactly the full-range walk's
         // front — pruning, not recomputing.
-        let full = explore(&engine, &name, BudgetPolicy::FullRange, 1);
+        let full = explore(&engine, &name, BudgetPolicy::FullRange, voltage, 1);
         let full_circuit = full.circuit(&name).expect("explored");
         let front: Vec<_> = full_circuit.front().collect();
         prop_assert_eq!(front.len(), circuit.points.len(), "{}", name);
         for (a, b) in front.iter().zip(&circuit.points) {
             prop_assert_eq!(a.budget, b.budget);
+            prop_assert_eq!(a.energy.to_bits(), b.energy.to_bits(), "{}", name);
+            prop_assert_eq!(a.area.to_bits(), b.area.to_bits(), "{}", name);
             prop_assert_eq!(a.combined_reduction, b.combined_reduction);
         }
         // And every full-range point is weakly dominated by some front
@@ -108,7 +137,8 @@ proptest! {
         for p in &full_circuit.points {
             prop_assert!(
                 circuit.points.iter().any(|f| f.budget <= p.budget
-                    && f.combined_reduction.total_cmp(&p.combined_reduction).is_ge()),
+                    && f.energy.total_cmp(&p.energy).is_le()
+                    && f.area.total_cmp(&p.area).is_le()),
                 "{}: point @ {} not covered by the front", name, p.budget
             );
         }

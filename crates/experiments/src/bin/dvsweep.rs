@@ -1,0 +1,61 @@
+//! Fine-grained DVS study: voltage-policy comparison over the paper
+//! circuits plus the measured optimality gap of the greedy
+//! slack-distribution kernel against the exact reference.
+//!
+//! ```text
+//! cargo run --release -p experiments --bin dvsweep [-- --json]
+//!     [--threads N] [--small]
+//! ```
+//!
+//! * `--json` — machine-readable output instead of the pretty tables
+//!   (byte-identical across reruns and thread counts),
+//! * `--threads N` — worker threads for the policy explorations
+//!   (default: one per CPU; the gap sweep is sequential either way),
+//! * `--small` — CI smoke configuration (no cordic, one preset, narrow
+//!   budget walk).
+
+use std::process::exit;
+
+fn main() {
+    let mut json = false;
+    let mut threads = 0usize;
+    let mut small = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--small" => small = true,
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--threads needs a positive integer"));
+            }
+            other => usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let outcome = match experiments::dvsweep::run_dvsweep(small, threads) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("dvsweep failed: {e}");
+            exit(1);
+        }
+    };
+    if json {
+        print!("{}", experiments::dvsweep::to_json(&outcome));
+    } else {
+        print!("{}", experiments::dvsweep::render(&outcome));
+    }
+    if !outcome.kernel_is_admissible() {
+        eprintln!("dvsweep: greedy kernel fell below the exact minimum somewhere");
+        exit(1);
+    }
+}
+
+fn usage(problem: &str) -> ! {
+    eprintln!("dvsweep: {problem}");
+    eprintln!("usage: dvsweep [--json] [--threads N] [--small]");
+    exit(2);
+}

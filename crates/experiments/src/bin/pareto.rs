@@ -6,6 +6,7 @@
 //! cargo run --release -p experiments --bin pareto [-- --json|--csv]
 //!     [--threads N] [--small] [--span N]
 //!     [--policy fixed|full-range|pareto] [--scaling none|linear|quadratic]
+//!     [--voltage global-none|global-linear|global-quadratic|per-op-2|per-op-3|per-op-5]
 //!     [--gen family=<name>,seed=<s>,count=<n>[,knob=v...]]...
 //! ```
 //!
@@ -17,7 +18,10 @@
 //!   (default 8; 4 with `--small`),
 //! * `--policy` — budget policy (default `pareto`: only front points;
 //!   `full-range` keeps every point, `fixed` visits the paper budgets),
-//! * `--scaling` — scaled-delay energy law (default `quadratic`),
+//! * `--scaling` — scaled-delay energy law (default `quadratic`; shorthand
+//!   for `--voltage global-<law>`),
+//! * `--voltage` — the voltage policy: a global law, or a per-op preset
+//!   (`per-op-N` schedules each operation at its own supply level),
 //! * `--gen SPEC` (repeatable) — explore generated circuits instead of the
 //!   paper's four,
 //! * `--daemon SOCKET` — run the exploration as a job on a `sweepd` daemon
@@ -26,7 +30,7 @@
 
 use std::process::exit;
 
-use engine::{BudgetCeiling, BudgetPolicy, ExploreRequest};
+use engine::{BudgetCeiling, BudgetPolicy, ExploreRequest, VoltagePolicy};
 use gen::GenSpec;
 use power::DelayScaling;
 use service::{Client, JobSpec};
@@ -43,7 +47,7 @@ fn main() {
     let mut small = false;
     let mut span: Option<u32> = None;
     let mut policy = BudgetPolicy::Pareto;
-    let mut scaling = DelayScaling::Quadratic;
+    let mut voltage = VoltagePolicy::Global(DelayScaling::Quadratic);
     let mut specs: Vec<GenSpec> = Vec::new();
     let mut daemon: Option<String> = None;
 
@@ -73,8 +77,14 @@ fn main() {
             }
             "--scaling" => {
                 let text = args.next().unwrap_or_else(|| usage("--scaling needs a value"));
-                scaling = DelayScaling::parse(&text)
+                let law = DelayScaling::parse(&text)
                     .unwrap_or_else(|| usage(&format!("unknown scaling `{text}`")));
+                voltage = VoltagePolicy::Global(law);
+            }
+            "--voltage" => {
+                let text = args.next().unwrap_or_else(|| usage("--voltage needs a value"));
+                voltage = VoltagePolicy::parse(&text)
+                    .unwrap_or_else(|| usage(&format!("unknown voltage policy `{text}`")));
             }
             "--gen" => {
                 let text = args.next().unwrap_or_else(|| usage("--gen needs a spec"));
@@ -96,11 +106,11 @@ fn main() {
         if !matches!(format, Format::Json) {
             usage("--daemon requires --json (the daemon streams the JSON report verbatim)");
         }
-        run_on_daemon(&socket, small, &specs, span, policy, scaling);
+        run_on_daemon(&socket, small, &specs, span, policy, voltage);
         return;
     }
 
-    let options = experiments::pareto::default_options(span).policy(policy).scaling(scaling);
+    let options = experiments::pareto::default_options(span).policy(policy).voltage(voltage);
     let outcome = if specs.is_empty() {
         experiments::pareto::explore_paper(small, &options, threads)
     } else {
@@ -136,7 +146,7 @@ fn run_on_daemon(
     specs: &[GenSpec],
     span: u32,
     policy: BudgetPolicy,
-    scaling: DelayScaling,
+    voltage: VoltagePolicy,
 ) {
     let (gen, requests): (Vec<String>, Vec<ExploreRequest>) = if specs.is_empty() {
         (Vec::new(), experiments::pareto::paper_requests(small))
@@ -155,7 +165,7 @@ fn run_on_daemon(
         requests,
         policy,
         ceiling: BudgetCeiling::CriticalPathPlus(span),
-        scaling,
+        voltage,
         branch_model: engine::BranchModel::Fair,
     };
     let outcome = Client::connect(socket)
@@ -186,6 +196,7 @@ fn usage(problem: &str) -> ! {
     eprintln!(
         "usage: pareto [--json|--csv] [--threads N] [--small] [--span N] [--daemon SOCKET] \
          [--policy fixed|full-range|pareto] [--scaling none|linear|quadratic] \
+         [--voltage global-none|global-linear|global-quadratic|per-op-2|per-op-3|per-op-5] \
          [--gen family=<name>,seed=<s>,count=<n>]..."
     );
     exit(2);

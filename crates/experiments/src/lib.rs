@@ -19,6 +19,7 @@
 //! | Latency–power Pareto fronts over the full budget range (beyond the paper) | [`pareto`] | `--bin pareto` |
 //! | Sweep-service determinism smoke (beyond the paper) | [`serviceweep`] | `--bin serviceweep` |
 //! | Online incremental-repair study (beyond the paper) | [`onlineweep`] | `--bin onlineweep` |
+//! | Fine-grained DVS policies & kernel optimality gap (beyond the paper) | [`dvsweep`] | `--bin dvsweep` |
 //!
 //! The `table1`, `table2`, `table3` and `sensitivity` binaries accept a
 //! `--json` flag that emits the engine's machine-readable report instead of
@@ -38,6 +39,7 @@ use std::fmt;
 use engine::{EngineError, Scenario, ScenarioMetrics, SweepRecord, SweepReport};
 
 pub mod ablation;
+pub mod dvsweep;
 pub mod figures;
 pub mod genweep;
 pub mod onlineweep;

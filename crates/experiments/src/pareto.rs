@@ -95,14 +95,25 @@ mod tests {
     }
 
     #[test]
-    fn paper_exploration_produces_monotone_fronts_without_failures() {
+    fn paper_exploration_produces_non_dominated_fronts_without_failures() {
         let report = explore_paper(true, &default_options(4), 2).unwrap();
         assert_eq!(report.failure_count(), 0);
         for circuit in &report.circuits {
             assert!(!circuit.points.is_empty(), "{}", circuit.circuit);
             assert_eq!(circuit.points[0].budget, circuit.critical_path);
+            // The front is non-dominated in (budget, energy, area): a
+            // bigger budget must buy strictly lower energy or area to stay
+            // on it (combined_reduction alone is no longer monotone now
+            // that area is a real objective).
             for pair in circuit.points.windows(2) {
-                assert!(pair[0].combined_reduction < pair[1].combined_reduction);
+                assert!(pair[0].budget < pair[1].budget, "{}", circuit.circuit);
+                assert!(
+                    pair[1].energy.total_cmp(&pair[0].energy).is_lt()
+                        || pair[1].area.total_cmp(&pair[0].area).is_lt(),
+                    "{}: point @ {} should be dominated",
+                    circuit.circuit,
+                    pair[1].budget
+                );
             }
         }
     }

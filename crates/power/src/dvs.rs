@@ -30,10 +30,11 @@
 use std::fmt;
 
 use cdfg::Cdfg;
-use pmsched::{compose_reductions, OpWeights, PowerManagementResult, SelectProbabilities};
+use pmsched::{OpWeights, PowerManagementResult, SelectProbabilities};
 use sched::Schedule;
 
 use crate::estimate::EstimateError;
+use crate::voltage::{voltage_scaled_estimate, VoltageAssignment, VoltageTable};
 
 /// How an operation's energy scales with the delay allotted to it.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -76,9 +77,11 @@ impl DelayScaling {
         }
     }
 
-    /// Parses a label produced by [`DelayScaling::label`].
+    /// Parses a label produced by [`DelayScaling::label`],
+    /// case-insensitively.  The emitted labels stay canonical lowercase,
+    /// so every `spec_string` embedding them remains lossless.
     pub fn parse(text: &str) -> Option<Self> {
-        DelayScaling::ALL.into_iter().find(|s| s.label() == text)
+        DelayScaling::ALL.into_iter().find(|s| s.label().eq_ignore_ascii_case(text))
     }
 }
 
@@ -94,8 +97,24 @@ impl fmt::Display for DelayScaling {
 /// — executes.  Nodes feeding only primary outputs may stretch to the
 /// sample boundary (`latency + 1`).
 pub fn allotted_delays(cdfg: &Cdfg, schedule: &Schedule, latency: u32) -> Vec<(cdfg::NodeId, u32)> {
-    let slices = cdfg.slices();
     let mut out = Vec::new();
+    allotted_delays_into(cdfg, schedule, latency, &mut out);
+    out
+}
+
+/// Buffer-reusing variant of [`allotted_delays`]: clears `out` and fills it
+/// with the same pairs in the same order, without allocating when the
+/// buffer's capacity already covers the graph.  The warm-workspace paths
+/// (the Pareto explorer's per-budget walk, the online session's metric
+/// recomputation) call this with a long-lived buffer.
+pub fn allotted_delays_into(
+    cdfg: &Cdfg,
+    schedule: &Schedule,
+    latency: u32,
+    out: &mut Vec<(cdfg::NodeId, u32)>,
+) {
+    let slices = cdfg.slices();
+    out.clear();
     for &node in slices.functional() {
         let Some(step) = schedule.step_of(node) else { continue };
         let mut first_use = latency + 1;
@@ -109,7 +128,6 @@ pub fn allotted_delays(cdfg: &Cdfg, schedule: &Schedule, latency: u32) -> Vec<(c
         // A validated schedule always leaves at least one step of gap.
         out.push((node, first_use.saturating_sub(step).max(1)));
     }
-    out
 }
 
 /// Expected-energy summary under a scaled-delay model: the shut-down and
@@ -166,41 +184,48 @@ pub fn scaled_delay_estimate(
     weights: &OpWeights,
     scaling: DelayScaling,
 ) -> Result<ScaledDelayReport, EstimateError> {
-    let cdfg = result.cdfg();
-    let schedule = result.schedule();
-    let activation = result.activation(probs);
+    let mut delays = Vec::new();
+    scaled_delay_estimate_into(result, probs, weights, scaling, &mut delays)
+}
 
-    let mut baseline = 0.0;
-    let mut shutdown = 0.0;
-    let mut scaled = 0.0;
-    for (node, delay) in allotted_delays(cdfg, schedule, result.latency()) {
-        let class = cdfg.node(node).expect("live node").op.class();
-        let weight = weights.weight(class);
-        let p = activation.probability(node);
-        baseline += weight;
-        shutdown += weight * p;
-        scaled += weight * p * scaling.factor(delay);
-    }
-
-    if !baseline.is_finite() || baseline <= 0.0 {
-        return Err(EstimateError::degenerate(format!(
-            "design has non-positive weighted baseline energy ({baseline})"
-        )));
-    }
-    let shutdown_reduction_percent = 100.0 * (baseline - shutdown) / baseline;
-    let slowdown_reduction_percent =
-        if shutdown > 0.0 { 100.0 * (shutdown - scaled) / shutdown } else { 0.0 };
+/// Buffer-reusing variant of [`scaled_delay_estimate`] for warm-workspace
+/// paths: `delays` is a long-lived allotted-delay buffer refilled via
+/// [`allotted_delays_into`] on every call.
+///
+/// Since the per-operation voltage refactor this *is* the single-curve
+/// path: the curve is re-expressed as a degenerate
+/// [`VoltageTable`] (one level per allotted
+/// delay, each priced by [`DelayScaling::factor`]) and the estimate runs
+/// through [`crate::voltage::voltage_scaled_estimate`] with the
+/// delay-induced [`VoltageAssignment`].
+/// The factors and the summation order are unchanged, so reports are
+/// byte-identical to the pre-refactor ones (pinned in
+/// `crate::voltage::tests`).
+///
+/// # Errors
+///
+/// Returns [`EstimateError::DegenerateBaseline`] when the design's weighted
+/// baseline energy is not strictly positive.
+pub fn scaled_delay_estimate_into(
+    result: &PowerManagementResult,
+    probs: &SelectProbabilities,
+    weights: &OpWeights,
+    scaling: DelayScaling,
+    delays: &mut Vec<(cdfg::NodeId, u32)>,
+) -> Result<ScaledDelayReport, EstimateError> {
+    allotted_delays_into(result.cdfg(), result.schedule(), result.latency(), delays);
+    let table = VoltageTable::from_scaling(scaling, result.latency().max(1));
+    let assignment =
+        VoltageAssignment::from_delays(&table, delays, result.cdfg().slices().slot_count());
+    let estimate = voltage_scaled_estimate(result, probs, weights, &table, &assignment)?;
     Ok(ScaledDelayReport {
         scaling,
-        baseline_weighted: baseline,
-        shutdown_weighted: shutdown,
-        scaled_weighted: scaled,
-        shutdown_reduction_percent,
-        slowdown_reduction_percent,
-        combined_reduction_percent: compose_reductions(
-            shutdown_reduction_percent,
-            slowdown_reduction_percent,
-        ),
+        baseline_weighted: estimate.baseline_weighted,
+        shutdown_weighted: estimate.shutdown_weighted,
+        scaled_weighted: estimate.scaled_weighted,
+        shutdown_reduction_percent: estimate.shutdown_reduction_percent,
+        slowdown_reduction_percent: estimate.slowdown_reduction_percent,
+        combined_reduction_percent: estimate.combined_reduction_percent,
     })
 }
 
@@ -208,7 +233,7 @@ pub fn scaled_delay_estimate(
 mod tests {
     use super::*;
     use cdfg::Op;
-    use pmsched::{power_manage, PowerManagementOptions};
+    use pmsched::{compose_reductions, power_manage, PowerManagementOptions};
 
     fn abs_diff() -> Cdfg {
         let mut g = Cdfg::new("abs_diff");

@@ -14,7 +14,12 @@
 //! * the *scaled-delay* (DVS-style) estimate — per-operation schedule slack
 //!   converted into an energy factor that composes with the shut-down
 //!   savings ([`dvs::scaled_delay_estimate`]), the model behind the
-//!   latency–power Pareto explorer.
+//!   latency–power Pareto explorer,
+//! * the *per-operation voltage* model ([`voltage`]) — discrete
+//!   [`voltage::VoltageLevel`] tables assigned per op through a
+//!   [`voltage::VoltageAssignment`]; the global scaled-delay curves are its
+//!   degenerate one-curve case and [`voltage::VoltagePolicy`] exposes both
+//!   as one explore axis.
 //!
 //! # Example
 //!
@@ -44,8 +49,12 @@
 pub mod dvs;
 pub mod estimate;
 pub mod vectors;
+pub mod voltage;
 
-pub use crate::dvs::{allotted_delays, scaled_delay_estimate, DelayScaling, ScaledDelayReport};
+pub use crate::dvs::{
+    allotted_delays, allotted_delays_into, scaled_delay_estimate, scaled_delay_estimate_into,
+    DelayScaling, ScaledDelayReport,
+};
 /// Alias for the crate's error type under the name downstream code (and the
 /// issue tracker) uses for it.
 pub use crate::estimate::EstimateError as PowerError;
@@ -53,3 +62,7 @@ pub use crate::estimate::{
     gate_level_comparison, gate_level_with_result, EstimateError, GateLevelOptions, GateLevelReport,
 };
 pub use crate::vectors::RandomVectors;
+pub use crate::voltage::{
+    voltage_scaled_estimate, VoltageAssignment, VoltageEstimate, VoltageLevel, VoltagePolicy,
+    VoltagePreset, VoltageTable,
+};

@@ -1,0 +1,79 @@
+//! Parse/label roundtrip properties for the scaling and voltage-policy
+//! vocabularies: labels stay lossless under parsing, and parsing is
+//! case-insensitive — the satellite contract for `DelayScaling::parse`.
+
+use power::{DelayScaling, VoltagePolicy};
+use proptest::prelude::*;
+
+/// Applies a per-character case mask to a label, exercising arbitrary
+/// mixed-case spellings.
+fn mangle_case(label: &str, mask: u32) -> String {
+    label
+        .chars()
+        .enumerate()
+        .map(|(i, c)| {
+            if mask >> (i % 32) & 1 == 1 {
+                c.to_ascii_uppercase()
+            } else {
+                c.to_ascii_lowercase()
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    /// Every scaling label parses back to its value under any casing, and
+    /// the canonical label survives a parse → label round trip unchanged
+    /// (losslessness for the spec strings that embed it).
+    #[test]
+    fn delay_scaling_labels_roundtrip_case_insensitively(
+        index in 0usize..DelayScaling::ALL.len(),
+        mask in 0u32..u32::MAX,
+    ) {
+        let scaling = DelayScaling::ALL[index];
+        let mangled = mangle_case(scaling.label(), mask);
+        prop_assert_eq!(DelayScaling::parse(&mangled), Some(scaling));
+        let reparsed = DelayScaling::parse(scaling.label()).unwrap();
+        prop_assert_eq!(reparsed.label(), scaling.label());
+    }
+
+    /// The voltage-policy labels obey the same contract, and the bare
+    /// scaling labels keep parsing as global-policy shorthand.
+    #[test]
+    fn voltage_policy_labels_roundtrip_case_insensitively(
+        index in 0usize..VoltagePolicy::ALL.len(),
+        mask in 0u32..u32::MAX,
+    ) {
+        let policy = VoltagePolicy::ALL[index];
+        let mangled = mangle_case(policy.label(), mask);
+        prop_assert_eq!(VoltagePolicy::parse(&mangled), Some(policy));
+        let reparsed = VoltagePolicy::parse(policy.label()).unwrap();
+        prop_assert_eq!(reparsed.label(), policy.label());
+    }
+
+    /// Parsing never invents values: an input that parses must equal one
+    /// of the canonical labels case-insensitively.
+    #[test]
+    fn parse_rejects_everything_but_labels(
+        chars in prop::collection::vec(0u8..53, 0..16),
+    ) {
+        // Alphabet [a-zA-Z-]: enough to cover labels, prefixes and junk.
+        let text: String = chars
+            .iter()
+            .map(|&c| match c {
+                0..=25 => (b'a' + c) as char,
+                26..=51 => (b'A' + (c - 26)) as char,
+                _ => '-',
+            })
+            .collect();
+        if let Some(scaling) = DelayScaling::parse(&text) {
+            prop_assert!(scaling.label().eq_ignore_ascii_case(&text));
+        }
+        if let Some(policy) = VoltagePolicy::parse(&text) {
+            let canonical = policy.label().eq_ignore_ascii_case(&text);
+            let shorthand = matches!(policy, VoltagePolicy::Global(s)
+                if s.label().eq_ignore_ascii_case(&text));
+            prop_assert!(canonical || shorthand);
+        }
+    }
+}

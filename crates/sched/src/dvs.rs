@@ -1,0 +1,570 @@
+//! Slack distribution for fine-grained DVS: picking a discrete slow-down
+//! level per operation under a latency budget.
+//!
+//! The multi-objective DVS literature assigns each operator its own supply
+//! voltage from a small discrete set; a lower voltage makes the operation
+//! cheaper but slower.  At the scheduling layer that is a *duration*
+//! choice: every functional operation picks a [`SlackLevel`] — a number of
+//! control steps it occupies and the energy factor it pays — and the
+//! duration-weighted critical path of the graph must still fit the latency
+//! budget.  [`distribute_slack`] is the deterministic greedy kernel that
+//! makes those choices, and `exact_min_energy` (compiled under
+//! `cfg(any(test, feature = "reference"))`, like `crate::naive`) is the
+//! exhaustive branch-and-bound reference that pins the greedy kernel's
+//! optimality gap on small circuits.
+//!
+//! # The model
+//!
+//! * level 0 is nominal: one control step, full energy.  Deeper levels take
+//!   strictly more steps for a strictly lower (or equal) energy factor.
+//! * a level assignment is *feasible* when the longest
+//!   duration-weighted path over functional precedence (data **and**
+//!   control edges) fits the latency — exactly the slack the shut-down
+//!   scheduling of the paper leaves behind.
+//! * the energy of an assignment is `Σ weight(op) · factor(level(op))`,
+//!   with caller-provided per-node weights (typically the paper's power
+//!   weight times the op's execution probability).
+//!
+//! # Determinism
+//!
+//! The greedy kernel promotes one operation at a time: the candidate with
+//! the strictly largest energy gain wins, ties broken by ascending node
+//! id.  All comparisons use [`f64::total_cmp`], so the assignment — and
+//! every report built on it — is identical across runs, machines and
+//! thread counts.
+
+use cdfg::{Cdfg, NodeId};
+
+use crate::error::ScheduleError;
+
+/// One discrete slow-down level: the control steps an operation occupies
+/// and the relative energy it pays there.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlackLevel {
+    /// Control steps an operation at this level occupies (level 0 must be
+    /// a single step — the nominal duration every scheduler assumes).
+    pub delay_steps: u32,
+    /// Energy factor relative to nominal (level 0 must be 1.0; deeper
+    /// levels are cheaper).
+    pub energy_factor: f64,
+}
+
+/// Validates a level table: non-empty, nominal first, strictly slower and
+/// never more expensive as the index grows.
+fn validate_levels(levels: &[SlackLevel]) {
+    assert!(!levels.is_empty(), "level table must not be empty");
+    assert_eq!(levels[0].delay_steps, 1, "level 0 must be the nominal single-step duration");
+    for pair in levels.windows(2) {
+        assert!(
+            pair[0].delay_steps < pair[1].delay_steps,
+            "level delays must be strictly increasing"
+        );
+        assert!(
+            pair[1].energy_factor.total_cmp(&pair[0].energy_factor).is_le(),
+            "level energy factors must be non-increasing"
+        );
+    }
+}
+
+/// Reusable buffers for [`distribute_slack`], in the style of
+/// [`crate::force::Workspace`]: create once, pass to every call, and the
+/// per-call cost is a handful of `clear`/`resize` operations instead of
+/// fresh allocations — the shape the explorer's warm budget walk needs.
+#[derive(Debug, Clone, Default)]
+pub struct Workspace {
+    /// Current duration (steps) of every slot; 0 for structural nodes.
+    dur: Vec<u32>,
+    /// Earliest start step under the current durations.
+    est: Vec<u32>,
+    /// Latest start step under the current durations.
+    lst: Vec<u32>,
+    /// Current level index of every slot.
+    level: Vec<u32>,
+}
+
+impl Workspace {
+    /// An empty workspace; buffers grow to the graph's size on first use.
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+}
+
+/// A per-operation slow-down level assignment produced by
+/// [`distribute_slack`] (or the exact reference).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelAssignment {
+    level: Vec<u32>,
+    energy: f64,
+    promotions: u32,
+}
+
+impl LevelAssignment {
+    /// The level index assigned to `node` (0 — nominal — for structural
+    /// nodes, which are never scheduled).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node`'s index lies outside the analysed CDFG's range.
+    pub fn level_of(&self, node: NodeId) -> u32 {
+        self.level[node.index()]
+    }
+
+    /// The dense per-slot level indices (structural slots hold 0).
+    pub fn levels(&self) -> &[u32] {
+        &self.level
+    }
+
+    /// Weighted energy of the assignment:
+    /// `Σ weight(op) · factor(level(op))`, summed in ascending node order.
+    pub fn energy(&self) -> f64 {
+        self.energy
+    }
+
+    /// Number of promotions the greedy kernel accepted (0 for the exact
+    /// reference's output).
+    pub fn promotions(&self) -> u32 {
+        self.promotions
+    }
+}
+
+/// Recomputes earliest/latest start steps for the current durations.
+/// Requires the state to be feasible (callers establish this at nominal
+/// durations and every promotion preserves it).
+fn recompute_timing(cdfg: &Cdfg, latency: u32, ws: &mut Workspace) {
+    let slices = cdfg.slices();
+    for &n in slices.topo() {
+        if !slices.is_functional(n) {
+            continue;
+        }
+        let mut earliest = 1;
+        for &p in slices.preds(n) {
+            if slices.is_functional(p) {
+                earliest = earliest.max(ws.est[p.index()] + ws.dur[p.index()]);
+            }
+        }
+        ws.est[n.index()] = earliest;
+    }
+    for &n in slices.topo().iter().rev() {
+        if !slices.is_functional(n) {
+            continue;
+        }
+        let mut latest_finish = latency;
+        for &s in slices.succs(n) {
+            if slices.is_functional(s) {
+                latest_finish = latest_finish.min(ws.lst[s.index()].saturating_sub(1));
+            }
+        }
+        debug_assert!(latest_finish + 1 >= ws.dur[n.index()], "feasible state");
+        ws.lst[n.index()] = latest_finish + 1 - ws.dur[n.index()];
+    }
+}
+
+/// Distributes the latency budget's slack over the functional operations
+/// of `cdfg` as discrete slow-down levels, greedily minimising
+/// `Σ node_weight(op) · factor(level(op))`.
+///
+/// `levels` is the discrete level table (see [`SlackLevel`]; level 0 must
+/// be the nominal single-step level).  `node_weight` prices each
+/// operation — the explorer passes the paper's power weight times the
+/// op's execution probability.  Data *and* control edges constrain the
+/// duration-weighted critical path, so the kernel composes with the
+/// paper's shut-down scheduling: it runs on the constrained CDFG a
+/// `pmsched`-style power-management pass produces.
+///
+/// The kernel repeatedly promotes the operation with the strictly largest
+/// energy gain whose slack covers the extra steps (ties: lowest node id),
+/// recomputing the timing after every accepted promotion.  Promotion
+/// within slack always preserves feasibility, so the result is feasible
+/// by construction; the exact reference (`exact_min_energy`) pins how
+/// far from optimal the greedy choices land.
+///
+/// # Errors
+///
+/// Returns [`ScheduleError::LatencyTooSmall`] when even nominal durations
+/// do not fit the budget.
+///
+/// # Panics
+///
+/// Panics if `levels` is empty, does not start with a single-step nominal
+/// level, or is not strictly slower / non-increasingly priced.
+pub fn distribute_slack(
+    cdfg: &Cdfg,
+    latency: u32,
+    levels: &[SlackLevel],
+    node_weight: &dyn Fn(NodeId) -> f64,
+    ws: &mut Workspace,
+) -> Result<LevelAssignment, ScheduleError> {
+    validate_levels(levels);
+    let slices = cdfg.slices();
+    let slots = slices.slot_count();
+
+    ws.dur.clear();
+    ws.dur.resize(slots, 0);
+    ws.est.clear();
+    ws.est.resize(slots, 0);
+    ws.lst.clear();
+    ws.lst.resize(slots, 0);
+    ws.level.clear();
+    ws.level.resize(slots, 0);
+    for &n in slices.functional() {
+        ws.dur[n.index()] = levels[0].delay_steps;
+    }
+
+    // Nominal feasibility: the unit-duration critical path must fit.
+    recompute_timing(cdfg, latency.max(1), ws);
+    let critical_path = slices.functional().iter().map(|&n| ws.est[n.index()]).max().unwrap_or(0);
+    if critical_path > latency {
+        return Err(ScheduleError::LatencyTooSmall { requested: latency, critical_path });
+    }
+    recompute_timing(cdfg, latency, ws);
+
+    let mut promotions = 0u32;
+    loop {
+        // The strictly best promotable candidate; ascending iteration plus
+        // a strictly-greater test makes the lowest node id win ties.
+        let mut best: Option<(f64, NodeId)> = None;
+        for &n in slices.functional() {
+            let level = ws.level[n.index()] as usize;
+            let Some(next) = levels.get(level + 1) else { continue };
+            let delta = next.delay_steps - levels[level].delay_steps;
+            if ws.lst[n.index()] - ws.est[n.index()] < delta {
+                continue;
+            }
+            let gain = node_weight(n) * (levels[level].energy_factor - next.energy_factor);
+            if gain <= 0.0 || gain.is_nan() {
+                continue; // weightless (or degenerate) ops never consume shared slack
+            }
+            let better = match best {
+                None => true,
+                Some((bg, _)) => gain.total_cmp(&bg).is_gt(),
+            };
+            if better {
+                best = Some((gain, n));
+            }
+        }
+        let Some((_, node)) = best else { break };
+        let next = ws.level[node.index()] + 1;
+        ws.level[node.index()] = next;
+        ws.dur[node.index()] = levels[next as usize].delay_steps;
+        promotions += 1;
+        recompute_timing(cdfg, latency, ws);
+    }
+
+    let mut energy = 0.0;
+    for &n in slices.functional() {
+        energy += node_weight(n) * levels[ws.level[n.index()] as usize].energy_factor;
+    }
+    Ok(LevelAssignment { level: ws.level.clone(), energy, promotions })
+}
+
+/// Exhaustive branch-and-bound reference for [`distribute_slack`]: the
+/// exact minimum-energy level assignment under the same feasibility
+/// notion.  Compiled only for tests and under the `reference` feature, in
+/// the `crate::naive` tradition — it enumerates the level space with
+/// feasibility and lower-bound pruning, so it is only meant for *small*
+/// circuits (the gap property tests sample tens of functional nodes at
+/// most).
+///
+/// Determinism: levels are tried in ascending index order per node and a
+/// candidate replaces the incumbent only when strictly cheaper under
+/// [`f64::total_cmp`], so the returned assignment is the lexicographically
+/// smallest among the optima.
+///
+/// The greedy kernel's output is feasible for the same space, so
+/// `distribute_slack(..).energy() >= exact_min_energy(..).energy()` always
+/// — the invariant the gap tests pin.
+///
+/// # Errors
+///
+/// Returns [`ScheduleError::LatencyTooSmall`] when even nominal durations
+/// do not fit the budget.
+///
+/// # Panics
+///
+/// Panics on invalid level tables (see [`distribute_slack`]).
+#[cfg(any(test, feature = "reference"))]
+pub fn exact_min_energy(
+    cdfg: &Cdfg,
+    latency: u32,
+    levels: &[SlackLevel],
+    node_weight: &dyn Fn(NodeId) -> f64,
+) -> Result<LevelAssignment, ScheduleError> {
+    validate_levels(levels);
+    let slices = cdfg.slices();
+    let slots = slices.slot_count();
+    let nodes: Vec<NodeId> = slices.functional().to_vec();
+    let weights: Vec<f64> = nodes.iter().map(|&n| node_weight(n)).collect();
+    let min_factor = levels.last().expect("non-empty").energy_factor;
+
+    // Duration-weighted critical path with unchosen nodes at nominal —
+    // an exact pruning test, since durations only ever grow with depth.
+    let critical_path = |dur: &[u32]| -> u32 {
+        let mut est = vec![0u32; slots];
+        let mut cp = 0;
+        for &n in slices.topo() {
+            if !slices.is_functional(n) {
+                continue;
+            }
+            let mut earliest = 1;
+            for &p in slices.preds(n) {
+                if slices.is_functional(p) {
+                    earliest = earliest.max(est[p.index()] + dur[p.index()]);
+                }
+            }
+            est[n.index()] = earliest;
+            cp = cp.max(earliest + dur[n.index()] - 1);
+        }
+        cp
+    };
+
+    let mut dur = vec![0u32; slots];
+    for &n in &nodes {
+        dur[n.index()] = levels[0].delay_steps;
+    }
+    if critical_path(&dur) > latency {
+        return Err(ScheduleError::LatencyTooSmall {
+            requested: latency,
+            critical_path: critical_path(&dur),
+        });
+    }
+
+    // Suffix sums of the cheapest possible remaining energy, for the
+    // admissible lower bound.
+    let mut suffix_min = vec![0.0f64; nodes.len() + 1];
+    for i in (0..nodes.len()).rev() {
+        suffix_min[i] = suffix_min[i + 1] + weights[i] * min_factor;
+    }
+
+    struct Search<'a, F: Fn(&[u32]) -> u32> {
+        nodes: &'a [NodeId],
+        weights: &'a [f64],
+        levels: &'a [SlackLevel],
+        latency: u32,
+        suffix_min: &'a [f64],
+        critical_path: F,
+        choice: Vec<u32>,
+        best_energy: f64,
+        best_choice: Vec<u32>,
+    }
+
+    impl<F: Fn(&[u32]) -> u32> Search<'_, F> {
+        fn descend(&mut self, i: usize, dur: &mut [u32], partial: f64) {
+            if i == self.nodes.len() {
+                if partial.total_cmp(&self.best_energy).is_lt() {
+                    self.best_energy = partial;
+                    self.best_choice.clone_from(&self.choice);
+                }
+                return;
+            }
+            let slot = self.nodes[i].index();
+            for (l, level) in self.levels.iter().enumerate() {
+                let here = partial + self.weights[i] * level.energy_factor;
+                if (here + self.suffix_min[i + 1]).total_cmp(&self.best_energy).is_ge() {
+                    continue;
+                }
+                dur[slot] = level.delay_steps;
+                if (self.critical_path)(dur) <= self.latency {
+                    self.choice[i] = l as u32;
+                    self.descend(i + 1, dur, here);
+                }
+            }
+            dur[slot] = self.levels[0].delay_steps;
+            self.choice[i] = 0;
+        }
+    }
+
+    let mut search = Search {
+        nodes: &nodes,
+        weights: &weights,
+        levels,
+        latency,
+        suffix_min: &suffix_min,
+        critical_path,
+        choice: vec![0; nodes.len()],
+        best_energy: f64::INFINITY,
+        best_choice: vec![0; nodes.len()],
+    };
+    search.descend(0, &mut dur, 0.0);
+
+    let mut level = vec![0u32; slots];
+    let mut energy = 0.0;
+    for (i, &n) in nodes.iter().enumerate() {
+        level[n.index()] = search.best_choice[i];
+        energy += weights[i] * levels[search.best_choice[i] as usize].energy_factor;
+    }
+    Ok(LevelAssignment { level, energy, promotions: 0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdfg::Op;
+
+    /// The classic three-level square-law table used throughout the tests:
+    /// nominal, half-speed at ~0.44×, quarter-speed at ~0.23×.
+    fn three_levels() -> Vec<SlackLevel> {
+        vec![
+            SlackLevel { delay_steps: 1, energy_factor: 1.0 },
+            SlackLevel { delay_steps: 2, energy_factor: 0.4356 },
+            SlackLevel { delay_steps: 4, energy_factor: 0.2304 },
+        ]
+    }
+
+    fn abs_diff() -> Cdfg {
+        let mut g = Cdfg::new("abs_diff");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let gt = g.add_op(Op::Gt, &[a, b]).unwrap();
+        let amb = g.add_op(Op::Sub, &[a, b]).unwrap();
+        let bma = g.add_op(Op::Sub, &[b, a]).unwrap();
+        let m = g.add_mux(gt, bma, amb).unwrap();
+        g.add_output("abs", m).unwrap();
+        g
+    }
+
+    fn chain(len: usize) -> Cdfg {
+        let mut g = Cdfg::new("chain");
+        let mut prev = g.add_input("x");
+        for _ in 0..len {
+            prev = g.add_op(Op::Neg, &[prev]).unwrap();
+        }
+        g.add_output("o", prev).unwrap();
+        g
+    }
+
+    #[test]
+    fn no_slack_means_everything_stays_nominal() {
+        let g = abs_diff();
+        let mut ws = Workspace::new();
+        let a = distribute_slack(&g, 2, &three_levels(), &|_| 1.0, &mut ws).unwrap();
+        assert!(a.levels().iter().all(|&l| l == 0), "critical-path budget leaves no slack");
+        assert_eq!(a.energy(), 4.0, "four ops at nominal");
+        assert_eq!(a.promotions(), 0);
+    }
+
+    #[test]
+    fn slack_is_spent_and_energy_drops_monotonically_with_the_budget() {
+        let g = abs_diff();
+        let mut ws = Workspace::new();
+        let mut last = f64::INFINITY;
+        for latency in 2..10 {
+            let a = distribute_slack(&g, latency, &three_levels(), &|_| 1.0, &mut ws).unwrap();
+            assert!(a.energy() <= last, "latency {latency}: {} > {last}", a.energy());
+            last = a.energy();
+        }
+        assert!(last < 4.0 * 0.25, "a wide budget drives everything to deep levels");
+    }
+
+    #[test]
+    fn promotions_respect_the_duration_weighted_critical_path() {
+        // A 3-op chain at latency 4 has exactly one spare step: only one
+        // op can move to the 2-step level, nothing can reach the 4-step one.
+        let g = chain(3);
+        let mut ws = Workspace::new();
+        let a = distribute_slack(&g, 4, &three_levels(), &|_| 1.0, &mut ws).unwrap();
+        let chain_steps: u32 = g
+            .functional_nodes()
+            .iter()
+            .map(|&n| three_levels()[a.level_of(n) as usize].delay_steps)
+            .sum();
+        assert!(chain_steps <= 4, "duration-weighted chain must fit the budget");
+        assert_eq!(a.promotions(), 1);
+        assert_eq!(a.levels().iter().filter(|&&l| l == 1).count(), 1);
+    }
+
+    #[test]
+    fn weights_steer_the_greedy_choice_deterministically() {
+        // Same chain, but the middle op is 10× heavier: the single spare
+        // step must go to it.
+        let g = chain(3);
+        let heavy: NodeId = g.functional_nodes()[1];
+        let mut ws = Workspace::new();
+        let weight = move |n: NodeId| if n == heavy { 10.0 } else { 1.0 };
+        let a = distribute_slack(&g, 4, &three_levels(), &weight, &mut ws).unwrap();
+        assert_eq!(a.level_of(heavy), 1, "the heavy op takes the spare step");
+        assert_eq!(a.promotions(), 1);
+    }
+
+    #[test]
+    fn zero_weight_ops_never_consume_slack() {
+        let g = chain(2);
+        let mut ws = Workspace::new();
+        let a = distribute_slack(&g, 6, &three_levels(), &|_| 0.0, &mut ws).unwrap();
+        assert!(a.levels().iter().all(|&l| l == 0));
+        assert_eq!(a.energy(), 0.0);
+    }
+
+    #[test]
+    fn sub_critical_budgets_surface_the_typed_error() {
+        let g = chain(3);
+        let mut ws = Workspace::new();
+        let err = distribute_slack(&g, 2, &three_levels(), &|_| 1.0, &mut ws).unwrap_err();
+        assert!(
+            matches!(err, ScheduleError::LatencyTooSmall { requested: 2, critical_path: 3 }),
+            "{err}"
+        );
+        let err = exact_min_energy(&g, 2, &three_levels(), &|_| 1.0).unwrap_err();
+        assert!(matches!(err, ScheduleError::LatencyTooSmall { .. }));
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_buffers() {
+        let g = abs_diff();
+        let mut warm = Workspace::new();
+        for latency in 2..8 {
+            let reused =
+                distribute_slack(&g, latency, &three_levels(), &|_| 1.0, &mut warm).unwrap();
+            let fresh =
+                distribute_slack(&g, latency, &three_levels(), &|_| 1.0, &mut Workspace::new())
+                    .unwrap();
+            assert_eq!(reused, fresh, "latency {latency}");
+        }
+    }
+
+    #[test]
+    fn exact_reference_lower_bounds_the_greedy_kernel() {
+        let levels = three_levels();
+        for (g, budgets) in [(abs_diff(), 2..9u32), (chain(4), 4..11u32)] {
+            let mut ws = Workspace::new();
+            for latency in budgets {
+                let heur = distribute_slack(&g, latency, &levels, &|_| 1.0, &mut ws).unwrap();
+                let exact = exact_min_energy(&g, latency, &levels, &|_| 1.0).unwrap();
+                // 1-ulp tolerance: equal-energy assignments can round
+                // differently because f64 addition is not associative.
+                assert!(
+                    heur.energy() >= exact.energy() - 1e-9 * exact.energy().abs().max(1.0),
+                    "{} @ {latency}: greedy {} below exact {}",
+                    g.name(),
+                    heur.energy(),
+                    exact.energy()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_reference_is_tight_on_a_chain() {
+        // On a pure chain the greedy kernel is optimal: slack allocation is
+        // a one-dimensional knapsack both solve exactly.
+        let g = chain(3);
+        let mut ws = Workspace::new();
+        for latency in 3..12 {
+            let heur = distribute_slack(&g, latency, &three_levels(), &|_| 1.0, &mut ws).unwrap();
+            let exact = exact_min_energy(&g, latency, &three_levels(), &|_| 1.0).unwrap();
+            assert!(
+                (heur.energy() - exact.energy()).abs() <= 1e-12,
+                "latency {latency}: greedy {} vs exact {}",
+                heur.energy(),
+                exact.energy()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "level 0 must be the nominal single-step duration")]
+    fn invalid_level_tables_are_rejected() {
+        let g = chain(1);
+        let bad = vec![SlackLevel { delay_steps: 2, energy_factor: 1.0 }];
+        let _ = distribute_slack(&g, 4, &bad, &|_| 1.0, &mut Workspace::new());
+    }
+}

@@ -21,7 +21,10 @@
 //!   under `cfg(test)` or the `reference` feature as the behavioural
 //!   reference the identity tests and benches compare against,
 //! * [`hyper`] — the combined "HYPER-style" entry point used by the
-//!   power-management flow after control edges have been inserted.
+//!   power-management flow after control edges have been inserted,
+//! * [`dvs`] — the fine-grained DVS slack-distribution kernel: per-op
+//!   discrete slow-down levels under a latency budget, with an exhaustive
+//!   minimum-energy reference under `cfg(any(test, feature = "reference"))`.
 //!
 //! # Example
 //!
@@ -49,6 +52,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dvs;
 pub mod error;
 pub mod force;
 pub mod hyper;

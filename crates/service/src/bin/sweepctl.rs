@@ -29,7 +29,7 @@
 
 use std::process::exit;
 
-use engine::{BudgetPolicy, CacheStats, ExploreRequest, Scenario};
+use engine::{BudgetPolicy, CacheStats, ExploreRequest, Scenario, VoltagePolicy};
 use service::protocol::{JobStatus, Request, Response};
 use service::{Client, JobSpec, JobState, ServiceError};
 
@@ -95,6 +95,7 @@ fn submit(client: &mut Client, mut args: Vec<String>) {
     let mut explore = false;
     let mut online: Option<String> = None;
     let mut policy: Option<BudgetPolicy> = None;
+    let mut voltage: Option<VoltagePolicy> = None;
     let mut json = false;
 
     while !args.is_empty() {
@@ -130,6 +131,16 @@ fn submit(client: &mut Client, mut args: Vec<String>) {
                         .unwrap_or_else(|| usage(&format!("unknown policy `{text}`"))),
                 );
             }
+            "--voltage" => {
+                if args.is_empty() {
+                    usage("--voltage needs a policy label (e.g. global-quadratic, per-op-3)");
+                }
+                let text = args.remove(0);
+                voltage = Some(
+                    VoltagePolicy::parse(&text)
+                        .unwrap_or_else(|| usage(&format!("unknown voltage policy `{text}`"))),
+                );
+            }
             other => usage(&format!("unknown submit argument `{other}`")),
         }
     }
@@ -137,6 +148,9 @@ fn submit(client: &mut Client, mut args: Vec<String>) {
     let spec = if let Some(stream) = online {
         if explore || !gen_specs.is_empty() || !cases.is_empty() || policy.is_some() {
             usage("--online takes only a stream spec (and --json)");
+        }
+        if voltage.is_some() {
+            usage("--voltage only applies to --explore jobs");
         }
         // Validate client-side so typos fail fast with the parser's message
         // instead of a failed job.
@@ -157,12 +171,18 @@ fn submit(client: &mut Client, mut args: Vec<String>) {
         if let (JobSpec::Explore { policy: p, .. }, Some(wanted)) = (&mut spec, policy) {
             *p = wanted;
         }
+        if let (JobSpec::Explore { voltage: v, .. }, Some(wanted)) = (&mut spec, voltage) {
+            *v = wanted;
+        }
         match (&mut spec, gen_specs) {
             (JobSpec::Explore { gen, .. }, specs) => *gen = specs,
             _ => unreachable!(),
         }
         spec
     } else {
+        if voltage.is_some() {
+            usage("--voltage only applies to --explore jobs");
+        }
         let mut scenarios: Vec<Scenario> = match service::plans::gen_scenarios(&gen_specs) {
             Ok(scenarios) => scenarios,
             Err(err) => usage(&err),
@@ -274,7 +294,9 @@ fn usage(problem: &str) -> ! {
     eprintln!("sweepctl: {problem}");
     eprintln!(
         "usage: sweepctl --socket PATH submit [--gen SPEC]... [--case CIRCUIT:LATENCY]... \
-         [--explore] [--online STREAM] [--policy fixed|full-range|pareto] [--json]\n\
+         [--explore] [--online STREAM] [--policy fixed|full-range|pareto] \
+         [--voltage global-none|global-linear|global-quadratic|per-op-2|per-op-3|per-op-5] \
+         [--json]\n\
          \u{20}      sweepctl --socket PATH status|cancel ID\n\
          \u{20}      sweepctl --socket PATH list|shutdown"
     );

@@ -388,11 +388,11 @@ fn run_job(shared: &Arc<Shared>, claimed: ClaimedJob) {
                 Err(err) => Err(err.to_string()),
             }
         }
-        JobSpec::Explore { requests, policy, ceiling, scaling, branch_model, .. } => {
+        JobSpec::Explore { requests, policy, ceiling, voltage, branch_model, .. } => {
             let options = ExploreOptions::new()
                 .policy(*policy)
                 .ceiling(*ceiling)
-                .scaling(*scaling)
+                .voltage(*voltage)
                 .branch_model(*branch_model);
             Ok(engine
                 .explore_controlled(

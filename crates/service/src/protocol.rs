@@ -23,8 +23,8 @@
 //!   output reaches the client without any re-serialization.
 
 use engine::{
-    BranchModel, BudgetCeiling, BudgetPolicy, CacheStats, DelayScaling, ExploreRequest,
-    GateLevelSpec, Scenario, SchedulerKind,
+    BranchModel, BudgetCeiling, BudgetPolicy, CacheStats, ExploreRequest, GateLevelSpec, Scenario,
+    SchedulerKind, VoltagePolicy,
 };
 
 use crate::admission::{RejectReason, Rejection};
@@ -77,8 +77,9 @@ pub enum JobSpec {
         policy: BudgetPolicy,
         /// Budget ceiling for the range policies.
         ceiling: BudgetCeiling,
-        /// Scaled-delay energy law.
-        scaling: DelayScaling,
+        /// Voltage policy: a global scaled-delay energy law or a per-op
+        /// voltage preset (fine-grained DVS).
+        voltage: VoltagePolicy,
         /// Branch-probability model.
         branch_model: BranchModel,
     },
@@ -105,7 +106,7 @@ impl JobSpec {
             requests,
             policy: BudgetPolicy::default(),
             ceiling: BudgetCeiling::default(),
-            scaling: DelayScaling::default(),
+            voltage: VoltagePolicy::default(),
             branch_model: BranchModel::default(),
         }
     }
@@ -170,7 +171,7 @@ impl JobSpec {
                 }
                 Json::Object(fields)
             }
-            JobSpec::Explore { gen, requests, policy, ceiling, scaling, branch_model } => {
+            JobSpec::Explore { gen, requests, policy, ceiling, voltage, branch_model } => {
                 Json::Object(vec![
                     ("kind".to_owned(), Json::Str("explore".to_owned())),
                     ("gen".to_owned(), string_array(gen)),
@@ -180,7 +181,7 @@ impl JobSpec {
                     ),
                     ("policy".to_owned(), Json::Str(policy.label().to_owned())),
                     ("ceiling".to_owned(), ceiling_to_json(*ceiling)),
-                    ("scaling".to_owned(), Json::Str(scaling.label().to_owned())),
+                    ("voltage".to_owned(), Json::Str(voltage.label().to_owned())),
                     ("branch_model".to_owned(), Json::Str(branch_model.label())),
                 ])
             }
@@ -230,8 +231,8 @@ impl JobSpec {
                     requests,
                     policy,
                     ceiling: ceiling_from_json(json.get("ceiling").ok_or("missing `ceiling`")?)?,
-                    scaling: DelayScaling::parse(require_str(json, "scaling")?)
-                        .ok_or("unknown scaling")?,
+                    voltage: VoltagePolicy::parse(require_str(json, "voltage")?)
+                        .ok_or("unknown voltage policy")?,
                     branch_model: parse_branch_model(require_str(json, "branch_model")?)?,
                 })
             }
@@ -763,7 +764,7 @@ mod tests {
             requests: vec![ExploreRequest::new("x"), ExploreRequest::new("y").budgets([3])],
             policy: BudgetPolicy::FullRange,
             ceiling: BudgetCeiling::Absolute(20),
-            scaling: DelayScaling::Linear,
+            voltage: VoltagePolicy::Global(engine::DelayScaling::Linear),
             branch_model: BranchModel::biased(900),
         }));
         roundtrip_request(Request::Submit(JobSpec::Explore {
@@ -771,7 +772,7 @@ mod tests {
             requests: vec![ExploreRequest::new("z")],
             policy: BudgetPolicy::Pareto,
             ceiling: BudgetCeiling::CriticalPathPlus(4),
-            scaling: DelayScaling::Quadratic,
+            voltage: VoltagePolicy::PerOp(engine::VoltagePreset::FiveLevel),
             branch_model: BranchModel::Fair,
         }));
     }

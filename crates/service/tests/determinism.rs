@@ -211,7 +211,7 @@ fn explore_jobs_match_in_process_exploration_byte_for_byte() {
         requests,
         policy: engine::BudgetPolicy::Pareto,
         ceiling: engine::BudgetCeiling::CriticalPathPlus(3),
-        scaling: engine::DelayScaling::Quadratic,
+        voltage: engine::VoltagePolicy::Global(engine::DelayScaling::Quadratic),
         branch_model: engine::BranchModel::Fair,
     };
     let cold = client.submit_and_wait(spec.clone()).expect("cold explore");
@@ -221,6 +221,29 @@ fn explore_jobs_match_in_process_exploration_byte_for_byte() {
     assert_eq!(warm.report.as_deref(), Some(baseline.as_str()));
     let cache = warm.job_cache.expect("cache delta");
     assert_eq!(cache.misses, 0, "warm exploration is all hits");
+
+    // Fine-grained DVS jobs honour the same contract: the daemon's per-op
+    // voltage exploration is byte-identical to the in-process run, cold
+    // and warm alike.
+    let dvs_requests = vec![engine::ExploreRequest::new("dealer")];
+    let dvs_options = engine::ExploreOptions::new()
+        .policy(engine::BudgetPolicy::FullRange)
+        .ceiling(engine::BudgetCeiling::CriticalPathPlus(3))
+        .voltage(engine::VoltagePolicy::PerOp(engine::VoltagePreset::ThreeLevel));
+    let dvs_baseline = Engine::new().explore(&dvs_requests, &dvs_options, 2).to_json();
+    let dvs_spec = JobSpec::Explore {
+        gen: Vec::new(),
+        requests: dvs_requests,
+        policy: engine::BudgetPolicy::FullRange,
+        ceiling: engine::BudgetCeiling::CriticalPathPlus(3),
+        voltage: engine::VoltagePolicy::PerOp(engine::VoltagePreset::ThreeLevel),
+        branch_model: engine::BranchModel::Fair,
+    };
+    let dvs_cold = client.submit_and_wait(dvs_spec.clone()).expect("cold dvs explore");
+    assert_eq!(dvs_cold.state, JobState::Done);
+    assert_eq!(dvs_cold.report.as_deref(), Some(dvs_baseline.as_str()));
+    let dvs_warm = client.submit_and_wait(dvs_spec).expect("warm dvs explore");
+    assert_eq!(dvs_warm.report.as_deref(), Some(dvs_baseline.as_str()));
 
     daemon.shutdown();
     daemon.join();
